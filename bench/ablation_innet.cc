@@ -1,0 +1,106 @@
+// Ablation study of the in-network tier (DESIGN.md): how much each
+// heuristic contributes.  Runs WORKLOAD_B and WORKLOAD_C under in-network
+// optimization with individual features disabled:
+//
+//   full        — query-aware DAG routing + shared messages + sleep
+//   no-dag      — fixed routing-tree parents (packing still on)
+//   no-shared   — one message per query (DAG routing still on)
+//   no-sleep    — idle nodes keep listening
+//   tree-only   — everything off: epoch alignment is the only tier-2 gain
+//
+// Usage: ablation_innet [--duration-ms=N] [--seed=N] [--side=N]
+#include <cstdio>
+#include <iostream>
+
+#include "metrics/table.h"
+#include "util/flags.h"
+#include "workload/runner.h"
+#include "query/parser.h"
+#include "workload/static_workloads.h"
+
+namespace ttmqo {
+namespace {
+
+struct Variant {
+  const char* name;
+  bool dag;
+  bool shared;
+  bool sleep;
+};
+
+int Main(int argc, char** argv) {
+  const Flags flags = Flags::Parse(argc, argv);
+  const SimDuration duration = flags.GetInt("duration-ms", 40 * 12288);
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 21));
+  const auto side = static_cast<std::size_t>(flags.GetInt("side", 8));
+  for (const std::string& unread : flags.UnreadFlags()) {
+    std::fprintf(stderr, "unknown flag --%s\n", unread.c_str());
+    return 2;
+  }
+
+  const Variant variants[] = {
+      {"full", true, true, true},
+      {"no-dag", false, true, true},
+      {"no-shared", true, false, true},
+      {"no-sleep", true, true, false},
+      {"tree-only", false, false, false},
+  };
+
+  // A sparse workload over a moving hotspot: only a spatially-connected
+  // cluster of nodes answers, so query-aware parent selection (route
+  // toward neighbors that also have data) actually changes which relays
+  // are involved — the Figure 2 scenario, statistically.
+  const std::vector<Query> hotspot = {
+      ParseQuery(1, "SELECT light WHERE light > 700 EPOCH DURATION 4096"),
+      ParseQuery(2, "SELECT light, temp WHERE light > 750 EPOCH DURATION "
+                    "4096"),
+      ParseQuery(3, "SELECT MAX(temp) WHERE light > 700 EPOCH DURATION 8192"),
+      ParseQuery(4, "SELECT light WHERE light > 800 EPOCH DURATION 12288"),
+  };
+
+  std::printf("In-network tier ablation (%zux%zu grid, %lldms)\n\n", side,
+              side, static_cast<long long>(duration));
+  for (const char* workload : {"B", "C", "HOTSPOT"}) {
+    const bool is_hotspot = std::string(workload) == "HOTSPOT";
+    const auto schedule =
+        StaticSchedule(is_hotspot ? hotspot : WorkloadByName(workload));
+
+    RunConfig base;
+    base.grid_side = side;
+    base.mode = OptimizationMode::kBaseline;
+    base.duration_ms = duration;
+    base.seed = seed;
+    if (is_hotspot) base.field = FieldKind::kHotspot;
+    const double baseline =
+        RunExperiment(base, schedule).summary.avg_transmission_fraction;
+
+    TablePrinter table(
+        {"variant", "avg tx %", "savings vs baseline %", "sleep %"});
+    for (const Variant& v : variants) {
+      RunConfig config = base;
+      config.mode = OptimizationMode::kInNetworkOnly;
+      config.innet.query_aware_routing = v.dag;
+      config.innet.shared_messages = v.shared;
+      config.innet.enable_sleep = v.sleep;
+      const RunResult run = RunExperiment(config, schedule);
+      table.AddRow(
+          {v.name,
+           TablePrinter::Num(run.summary.avg_transmission_fraction * 100, 4),
+           TablePrinter::Num(
+               SavingsPercent(baseline,
+                              run.summary.avg_transmission_fraction),
+               1),
+           TablePrinter::Num(run.summary.avg_sleep_fraction * 100, 1)});
+    }
+    std::printf("--- WORKLOAD_%s (baseline avg tx %.4f%%) ---\n", workload,
+                baseline * 100);
+    table.Print(std::cout);
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ttmqo
+
+int main(int argc, char** argv) { return ttmqo::Main(argc, argv); }

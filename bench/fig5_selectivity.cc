@@ -1,0 +1,112 @@
+// Reproduces Figure 5: transmission-time savings of TTMQO over the
+// baseline as a function of predicate selectivity, for three workload
+// compositions (100% acquisition, 50/50 mix, 100% aggregation).
+//
+// Setup per Section 4.3: 8 concurrent queries; acquisition queries
+// retrieve all attributes; aggregation queries request MAX(light);
+// "selectivity of predicates = s" constrains one randomly chosen attribute
+// to a window covering fraction s of its range.  The collision model is ON
+// — the paper attributes the >7/8 savings of 8 same-epoch acquisition
+// queries at selectivity 1 to reduced transmission failures and
+// retransmissions.
+//
+// Paper shapes: savings grow with selectivity for every composition; 8
+// same-epoch acquisition queries at selectivity 1 reach ~89.7%; the pure
+// aggregation workload improves sharply only at selectivity 1 (tier 1
+// cannot merge aggregation queries with different predicates).
+//
+// Usage: fig5_selectivity [--duration-ms=N] [--seed=N] [--side=4]
+//                         [--collisions=0.03]
+#include <cstdio>
+#include <iostream>
+
+#include "metrics/table.h"
+#include "util/flags.h"
+#include "workload/runner.h"
+
+namespace ttmqo {
+namespace {
+
+std::vector<Query> MakeQueries(double acquisition_fraction,
+                               double selectivity, std::uint64_t seed) {
+  QueryModelParams params;
+  params.aggregation_fraction = 1.0 - acquisition_fraction;
+  // The paper draws predicate attributes from {nodeid, light, temp}; our
+  // catalog's nodeid range is the 16-bit address space rather than the
+  // deployment size, so predicates are drawn over light/temp instead
+  // (documented in EXPERIMENTS.md).
+  params.attributes = {Attribute::kLight, Attribute::kTemp};
+  params.operators = {AggregateOp::kMax};
+  params.epochs = {8192};  // 8 same-epoch queries, as in the 89.7% claim
+  params.predicate_selectivity = selectivity;
+  params.acquisition_selects_all = true;
+  RandomQueryModel model(params, seed);
+
+  std::vector<Query> queries;
+  std::size_t num_agg =
+      static_cast<std::size_t>(8.0 * (1.0 - acquisition_fraction) + 0.5);
+  for (QueryId id = 1; id <= 8; ++id) {
+    Query q = model.Next(id);
+    // Force the exact composition: regenerate until the kind matches the
+    // remaining quota (the model draws kinds randomly).
+    while ((q.kind() == QueryKind::kAggregation && num_agg == 0) ||
+           (q.kind() == QueryKind::kAcquisition && (8 - id + 1) <= num_agg)) {
+      q = model.Next(id);
+    }
+    if (q.kind() == QueryKind::kAggregation) --num_agg;
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+int Main(int argc, char** argv) {
+  const Flags flags = Flags::Parse(argc, argv);
+  const SimDuration duration = flags.GetInt("duration-ms", 40 * 8192);
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 5));
+  const auto side = static_cast<std::size_t>(flags.GetInt("side", 4));
+  const double collisions = flags.GetDouble("collisions", 0.03);
+  for (const std::string& unread : flags.UnreadFlags()) {
+    std::fprintf(stderr, "unknown flag --%s\n", unread.c_str());
+    return 2;
+  }
+
+  std::printf("Figure 5: transmission-time savings vs predicate selectivity "
+              "(8 queries, %zux%zu grid, collisions=%.3f)\n\n",
+              side, side, collisions);
+
+  TablePrinter table({"selectivity", "100% acquisition", "50% / 50%",
+                      "100% aggregation"});
+  for (double sel : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+    std::vector<std::string> row = {TablePrinter::Num(sel, 1)};
+    for (double acq_fraction : {1.0, 0.5, 0.0}) {
+      const auto queries = MakeQueries(acq_fraction, sel, seed);
+      const auto schedule = StaticSchedule(queries);
+      double fraction[2];
+      int i = 0;
+      for (OptimizationMode mode :
+           {OptimizationMode::kBaseline, OptimizationMode::kTwoTier}) {
+        RunConfig config;
+        config.grid_side = side;
+        config.mode = mode;
+        config.field = FieldKind::kUniform;  // matches the uniform analysis
+        config.duration_ms = duration;
+        config.seed = seed;
+        config.channel.collision_prob = collisions;
+        fraction[i++] =
+            RunExperiment(config, schedule).summary.avg_transmission_fraction;
+      }
+      row.push_back(
+          TablePrinter::Num(SavingsPercent(fraction[0], fraction[1]), 1));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+  std::printf("\nEntries are %% savings of TTMQO over the baseline in "
+              "average transmission time.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ttmqo
+
+int main(int argc, char** argv) { return ttmqo::Main(argc, argv); }

@@ -1,0 +1,112 @@
+// Google-benchmark microbenchmarks for the tier-1 optimizer: cost model
+// evaluation, benefit-rate computation, and Algorithm 1/2 throughput as the
+// synthetic query list grows.
+#include <benchmark/benchmark.h>
+
+#include "core/bs/cost_model.h"
+#include "core/bs/rewriter.h"
+#include "workload/generator.h"
+
+namespace ttmqo {
+namespace {
+
+QueryModelParams BenchModelParams() {
+  QueryModelParams params;
+  params.aggregation_fraction = 0.5;
+  params.predicate_selectivity = 1.0;
+  params.randomize_selectivity = true;
+  return params;
+}
+
+void BM_CostModelEvaluate(benchmark::State& state) {
+  const Topology topology = Topology::Grid(8);
+  const SelectivityEstimator estimator;
+  const CostModel cost(topology, RadioParams{}, estimator);
+  RandomQueryModel model(BenchModelParams(), 1);
+  std::vector<Query> queries;
+  for (QueryId i = 1; i <= 64; ++i) queries.push_back(model.Next(i));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cost.Cost(queries[i++ % queries.size()]));
+  }
+}
+BENCHMARK(BM_CostModelEvaluate);
+
+void BM_BenefitRate(benchmark::State& state) {
+  const Topology topology = Topology::Grid(8);
+  const SelectivityEstimator estimator;
+  const CostModel cost(topology, RadioParams{}, estimator);
+  BaseStationOptimizer optimizer(cost);
+  RandomQueryModel model(BenchModelParams(), 2);
+  for (QueryId i = 1; i <= 8; ++i) {
+    (void)optimizer.InsertUserQuery(model.Next(i));
+  }
+  const Query probe = model.Next(1000);
+  const SyntheticQuery* sq = optimizer.Synthetics().front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimizer.BenefitRate(probe, *sq));
+  }
+}
+BENCHMARK(BM_BenefitRate);
+
+// Insert `range(0)` user queries into a fresh optimizer; reports the cost
+// of Algorithm 1 as the workload grows.
+void BM_InsertQueries(benchmark::State& state) {
+  const Topology topology = Topology::Grid(8);
+  const SelectivityEstimator estimator;
+  const CostModel cost(topology, RadioParams{}, estimator);
+  const auto count = static_cast<std::size_t>(state.range(0));
+  RandomQueryModel model(BenchModelParams(), 3);
+  std::vector<Query> queries;
+  for (QueryId i = 1; i <= count; ++i) queries.push_back(model.Next(i));
+  for (auto _ : state) {
+    BaseStationOptimizer optimizer(cost);
+    for (const Query& q : queries) {
+      benchmark::DoNotOptimize(optimizer.InsertUserQuery(q));
+    }
+    state.counters["synthetics"] =
+        static_cast<double>(optimizer.NumSynthetic());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count));
+}
+BENCHMARK(BM_InsertQueries)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+// Full churn: insert then terminate every query (Algorithm 1 + 2).
+void BM_InsertTerminateChurn(benchmark::State& state) {
+  const Topology topology = Topology::Grid(8);
+  const SelectivityEstimator estimator;
+  const CostModel cost(topology, RadioParams{}, estimator);
+  const auto count = static_cast<std::size_t>(state.range(0));
+  RandomQueryModel model(BenchModelParams(), 4);
+  std::vector<Query> queries;
+  for (QueryId i = 1; i <= count; ++i) queries.push_back(model.Next(i));
+  for (auto _ : state) {
+    BaseStationOptimizer optimizer(cost);
+    for (const Query& q : queries) {
+      benchmark::DoNotOptimize(optimizer.InsertUserQuery(q));
+    }
+    for (const Query& q : queries) {
+      benchmark::DoNotOptimize(optimizer.TerminateUserQuery(q.id()));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * count));
+}
+BENCHMARK(BM_InsertTerminateChurn)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_IntegrateQueries(benchmark::State& state) {
+  RandomQueryModel model(BenchModelParams(), 5);
+  const Query a = model.Next(1);
+  Query b = model.Next(2);
+  while (!IsRewritable(a, b)) b = model.Next(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Integrate(100, a, b));
+  }
+}
+BENCHMARK(BM_IntegrateQueries);
+
+}  // namespace
+}  // namespace ttmqo
+
+BENCHMARK_MAIN();

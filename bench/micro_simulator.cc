@@ -1,0 +1,102 @@
+// Google-benchmark microbenchmarks for the simulation substrate: event
+// loop throughput, channel transmissions, topology/routing construction,
+// and full end-to-end engine epochs.
+#include <benchmark/benchmark.h>
+
+#include "core/ttmqo_engine.h"
+#include "net/network.h"
+#include "query/parser.h"
+#include "routing/routing_tree.h"
+#include "sensing/field_model.h"
+
+namespace ttmqo {
+namespace {
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    std::uint64_t sum = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sim.ScheduleAt(i, [&sum, i] { sum += static_cast<std::uint64_t>(i); });
+    }
+    sim.RunUntil(1000);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_EventQueueThroughput);
+
+void BM_GridConstruction(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Topology::Grid(side));
+  }
+}
+BENCHMARK(BM_GridConstruction)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_RoutingTreeConstruction(benchmark::State& state) {
+  const Topology topology = Topology::Grid(8);
+  const LinkQualityMap quality(topology, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RoutingTree(topology, quality));
+  }
+}
+BENCHMARK(BM_RoutingTreeConstruction);
+
+void BM_BroadcastDelivery(benchmark::State& state) {
+  const Topology topology = Topology::Grid(8);
+  Network network(topology, RadioParams{}, ChannelParams{}, 1);
+  std::uint64_t received = 0;
+  for (NodeId n : topology.AllNodes()) {
+    network.SetReceiver(n, [&received](const Message&, bool) { ++received; });
+  }
+  for (auto _ : state) {
+    Message msg;
+    msg.mode = AddressMode::kBroadcast;
+    msg.sender = 27;  // interior node
+    msg.payload_bytes = 20;
+    network.Send(std::move(msg));
+    network.sim().RunUntil(network.sim().Now() + 100);
+  }
+  benchmark::DoNotOptimize(received);
+}
+BENCHMARK(BM_BroadcastDelivery);
+
+void BM_FieldSampling(benchmark::State& state) {
+  const CorrelatedFieldModel field(1, CorrelatedFieldModel::Params{});
+  SimTime t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        field.Sample(5, Position{40, 60}, Attribute::kLight, t));
+    t += 2048;
+  }
+}
+BENCHMARK(BM_FieldSampling);
+
+// Simulated seconds per wall second for the full two-tier stack.
+void BM_EndToEndEpochs(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    const Topology topology = Topology::Grid(side);
+    Network network(topology, RadioParams{}, ChannelParams{}, 1);
+    UniformFieldModel field(2);
+    ResultLog log;
+    TtmqoOptions options;
+    options.mode = OptimizationMode::kTwoTier;
+    TtmqoEngine engine(network, field, &log, options);
+    engine.SubmitQuery(ParseQuery(1, "SELECT light EPOCH DURATION 4096"));
+    engine.SubmitQuery(
+        ParseQuery(2, "SELECT MAX(temp) EPOCH DURATION 8192"));
+    state.ResumeTiming();
+    network.sim().RunUntil(16 * 4096);
+    benchmark::DoNotOptimize(log.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_EndToEndEpochs)->Arg(4)->Arg(8);
+
+}  // namespace
+}  // namespace ttmqo
+
+BENCHMARK_MAIN();

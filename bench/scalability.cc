@@ -1,0 +1,106 @@
+// Scalability study (extension): how the savings of each tier scale with
+// network size.  The paper evaluates 16 and 64 nodes; this sweep extends
+// the axis to 144 nodes and adds a query-count axis (8..32 concurrent
+// static queries drawn from the random model).
+//
+// Usage: scalability [--duration-ms=N] [--seed=N] [--collisions=P]
+#include <cstdio>
+#include <iostream>
+
+#include "metrics/table.h"
+#include "util/flags.h"
+#include "workload/runner.h"
+#include "workload/static_workloads.h"
+
+namespace ttmqo {
+namespace {
+
+int Main(int argc, char** argv) {
+  const Flags flags = Flags::Parse(argc, argv);
+  const SimDuration duration = flags.GetInt("duration-ms", 20 * 12288);
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 77));
+  const double collisions = flags.GetDouble("collisions", 0.02);
+  for (const std::string& unread : flags.UnreadFlags()) {
+    std::fprintf(stderr, "unknown flag --%s\n", unread.c_str());
+    return 2;
+  }
+
+  std::printf("Scalability of TTMQO savings (WORKLOAD_C, collisions=%.3f, "
+              "%lld ms)\n\n",
+              collisions, static_cast<long long>(duration));
+
+  // Axis 1: network size.
+  {
+    TablePrinter table({"nodes", "baseline avg tx %", "ttmqo avg tx %",
+                        "savings %"});
+    for (std::size_t side : {std::size_t{4}, std::size_t{6}, std::size_t{8},
+                             std::size_t{10}, std::size_t{12}}) {
+      const auto schedule = StaticSchedule(WorkloadC());
+      double tx[2];
+      int i = 0;
+      for (OptimizationMode mode :
+           {OptimizationMode::kBaseline, OptimizationMode::kTwoTier}) {
+        RunConfig config;
+        config.grid_side = side;
+        config.mode = mode;
+        config.duration_ms = duration;
+        config.seed = seed;
+        config.channel.collision_prob = collisions;
+        tx[i++] = RunExperiment(config, schedule)
+                      .summary.avg_transmission_fraction *
+                  100.0;
+      }
+      table.AddRow({std::to_string(side * side), TablePrinter::Num(tx[0], 4),
+                    TablePrinter::Num(tx[1], 4),
+                    TablePrinter::Num(SavingsPercent(tx[0], tx[1]), 1)});
+    }
+    std::printf("--- savings vs network size ---\n");
+    table.Print(std::cout);
+    std::printf("\n");
+  }
+
+  // Axis 2: number of concurrent static queries (8x8 grid).
+  {
+    TablePrinter table({"queries", "baseline avg tx %", "ttmqo avg tx %",
+                        "savings %", "synthetic queries"});
+    for (std::size_t count : {std::size_t{4}, std::size_t{8}, std::size_t{16},
+                              std::size_t{32}}) {
+      QueryModelParams params;
+      params.predicate_selectivity = 1.0;
+      params.randomize_selectivity = true;
+      RandomQueryModel model(params, seed);
+      std::vector<Query> queries;
+      for (QueryId i = 1; i <= count; ++i) queries.push_back(model.Next(i));
+      const auto schedule = StaticSchedule(queries);
+      double tx[2];
+      double synthetics = 0;
+      int i = 0;
+      for (OptimizationMode mode :
+           {OptimizationMode::kBaseline, OptimizationMode::kTwoTier}) {
+        RunConfig config;
+        config.grid_side = 8;
+        config.mode = mode;
+        config.duration_ms = duration;
+        config.seed = seed;
+        config.channel.collision_prob = collisions;
+        const RunResult run = RunExperiment(config, schedule);
+        tx[i++] = run.summary.avg_transmission_fraction * 100.0;
+        if (mode == OptimizationMode::kTwoTier) {
+          synthetics = run.avg_network_queries;
+        }
+      }
+      table.AddRow({std::to_string(count), TablePrinter::Num(tx[0], 4),
+                    TablePrinter::Num(tx[1], 4),
+                    TablePrinter::Num(SavingsPercent(tx[0], tx[1]), 1),
+                    TablePrinter::Num(synthetics, 2)});
+    }
+    std::printf("--- savings vs concurrent queries (8x8 grid) ---\n");
+    table.Print(std::cout);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ttmqo
+
+int main(int argc, char** argv) { return ttmqo::Main(argc, argv); }

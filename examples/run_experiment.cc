@@ -1,0 +1,114 @@
+// A general experiment driver: every knob of the harness on the command
+// line.  Useful for quick what-if studies without writing code.
+//
+//   $ run_experiment --workload=C --mode=ttmqo --side=8
+//   $ run_experiment --workload=random --queries=40 --concurrency=12
+//   $ run_experiment --workload=A --topology=random --nodes=30
+//
+// Prints the run summary, per-mode savings (when --compare is given), and
+// the energy picture.
+#include <cstdio>
+#include <iostream>
+
+#include "metrics/energy.h"
+#include "metrics/table.h"
+#include "util/flags.h"
+#include "workload/runner.h"
+#include "workload/static_workloads.h"
+
+namespace {
+
+using namespace ttmqo;
+
+OptimizationMode ParseMode(const std::string& name) {
+  if (name == "baseline") return OptimizationMode::kBaseline;
+  if (name == "bs") return OptimizationMode::kBaseStationOnly;
+  if (name == "innet") return OptimizationMode::kInNetworkOnly;
+  if (name == "ttmqo") return OptimizationMode::kTwoTier;
+  throw std::invalid_argument("unknown --mode (baseline|bs|innet|ttmqo)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Flags flags = Flags::Parse(argc, argv);
+    const std::string workload = flags.GetString("workload", "C");
+    const bool compare = flags.GetBool("compare", false);
+    const std::string mode_name = flags.GetString("mode", "ttmqo");
+
+    RunConfig config;
+    config.grid_side = static_cast<std::size_t>(flags.GetInt("side", 4));
+    if (flags.GetString("topology", "grid") == "random") {
+      config.topology = TopologyKind::kRandom;
+      config.random_nodes =
+          static_cast<std::size_t>(flags.GetInt("nodes", 25));
+      config.random_side_feet = flags.GetDouble("area-side", 120.0);
+    }
+    config.duration_ms = flags.GetInt("duration-ms", 40 * 12288);
+    config.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+    config.channel.collision_prob = flags.GetDouble("collisions", 0.02);
+    config.alpha = flags.GetDouble("alpha", 0.6);
+
+    std::vector<WorkloadEvent> schedule;
+    if (workload == "random") {
+      QueryModelParams params;
+      params.predicate_selectivity = 1.0;
+      params.randomize_selectivity = true;
+      RandomQueryModel model(params, config.seed ^ 0xabcULL);
+      const auto queries =
+          static_cast<std::size_t>(flags.GetInt("queries", 40));
+      const double concurrency = flags.GetDouble("concurrency", 8.0);
+      schedule = DynamicSchedule(model, queries, 40'000.0,
+                                 concurrency * 40'000.0, config.seed);
+      SimTime end = 0;
+      for (const auto& event : schedule) end = std::max(end, event.time);
+      config.duration_ms = std::max(config.duration_ms, end + 4 * 24576);
+    } else {
+      schedule = StaticSchedule(WorkloadByName(workload));
+    }
+
+    for (const std::string& unread : flags.UnreadFlags()) {
+      std::fprintf(stderr, "unknown flag --%s\n", unread.c_str());
+      return 2;
+    }
+
+    const std::vector<OptimizationMode> modes =
+        compare ? std::vector<OptimizationMode>{
+                      OptimizationMode::kBaseline,
+                      OptimizationMode::kBaseStationOnly,
+                      OptimizationMode::kInNetworkOnly,
+                      OptimizationMode::kTwoTier}
+                : std::vector<OptimizationMode>{ParseMode(mode_name)};
+
+    TablePrinter table({"mode", "avg tx %", "messages", "retx", "results",
+                        "avg net queries", "sleep %"});
+    double baseline_tx = -1.0;
+    for (OptimizationMode mode : modes) {
+      config.mode = mode;
+      const RunResult run = RunExperiment(config, schedule);
+      if (mode == OptimizationMode::kBaseline) {
+        baseline_tx = run.summary.avg_transmission_fraction;
+      }
+      table.AddRow(
+          {std::string(OptimizationModeName(mode)),
+           TablePrinter::Num(run.summary.avg_transmission_fraction * 100, 4),
+           std::to_string(run.summary.total_messages),
+           std::to_string(run.summary.retransmissions),
+           std::to_string(run.results.size()),
+           TablePrinter::Num(run.avg_network_queries, 2),
+           TablePrinter::Num(run.summary.avg_sleep_fraction * 100, 1)});
+      if (compare && mode == OptimizationMode::kTwoTier &&
+          baseline_tx > 0) {
+        std::printf("TTMQO saves %.1f%% of average transmission time\n\n",
+                    SavingsPercent(baseline_tx,
+                                   run.summary.avg_transmission_fraction));
+      }
+    }
+    table.Print(std::cout);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

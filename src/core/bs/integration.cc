@@ -1,0 +1,94 @@
+#include "core/bs/integration.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/mathx.h"
+
+namespace ttmqo {
+namespace {
+
+bool AllAggregationSamePredicates(std::span<const Query> members) {
+  for (const Query& q : members) {
+    if (q.kind() != QueryKind::kAggregation) return false;
+    if (!(q.predicates() == members.front().predicates())) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool IsRewritable(const Query& a, const Query& b) {
+  if (a.kind() == QueryKind::kAggregation &&
+      b.kind() == QueryKind::kAggregation) {
+    // Aggregation pairs need identical predicates; otherwise neither stream
+    // can be derived from a merged aggregate (Section 3.1.2).
+    return a.predicates() == b.predicates();
+  }
+  return true;
+}
+
+bool Covers(const Query& cover, const Query& covered) {
+  // Every epoch of `covered` must coincide with an epoch of `cover`.
+  if (!Divides(cover.epoch(), covered.epoch())) return false;
+  // The cover must report a superset of the matching readings.
+  if (!cover.predicates().CoversSetOf(covered.predicates())) return false;
+
+  if (cover.kind() == QueryKind::kAcquisition) {
+    // Raw rows can answer anything, provided every needed column is there.
+    const auto& have = cover.attributes();
+    for (Attribute attr : covered.AcquiredAttributes()) {
+      if (!std::binary_search(have.begin(), have.end(), attr)) return false;
+    }
+    return true;
+  }
+  // An aggregation stream can only answer an aggregation subset with the
+  // exact same predicates (otherwise the aggregate is over the wrong rows).
+  if (covered.kind() != QueryKind::kAggregation) return false;
+  if (!(cover.predicates() == covered.predicates())) return false;
+  const auto& have = cover.aggregates();
+  for (const AggregateSpec& spec : covered.aggregates()) {
+    if (!std::binary_search(have.begin(), have.end(), spec)) return false;
+  }
+  return true;
+}
+
+Query BuildNetworkQuery(QueryId id, std::span<const Query> members) {
+  CheckArg(!members.empty(), "BuildNetworkQuery: members must be non-empty");
+
+  SimDuration epoch = 0;
+  for (const Query& q : members) epoch = std::gcd(epoch, q.epoch());
+
+  if (AllAggregationSamePredicates(members)) {
+    std::vector<AggregateSpec> aggs;
+    for (const Query& q : members) {
+      aggs.insert(aggs.end(), q.aggregates().begin(), q.aggregates().end());
+    }
+    return Query::Aggregation(id, std::move(aggs),
+                              members.front().predicates(), epoch);
+  }
+
+  // Mixed or acquisition-only: one acquisition query acquiring everything
+  // any member needs, with the integration-union of the predicates.
+  std::vector<Attribute> attrs;
+  for (const Query& q : members) {
+    const auto acquired = q.AcquiredAttributes();
+    attrs.insert(attrs.end(), acquired.begin(), acquired.end());
+  }
+  PredicateSet predicates = members.front().predicates();
+  for (std::size_t i = 1; i < members.size(); ++i) {
+    predicates =
+        PredicateSet::IntegrationUnion(predicates, members[i].predicates());
+  }
+  return Query::Acquisition(id, std::move(attrs), std::move(predicates),
+                            epoch);
+}
+
+std::optional<Query> Integrate(QueryId id, const Query& base,
+                               const Query& q) {
+  if (!IsRewritable(base, q)) return std::nullopt;
+  const Query members[] = {base, q};
+  return BuildNetworkQuery(id, members);
+}
+
+}  // namespace ttmqo

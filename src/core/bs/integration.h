@@ -1,0 +1,49 @@
+// Query integration and coverage rules (Section 3.1.2).
+//
+// Integrating queries q1, q2 into a synthetic query q12 must request a
+// superset of the data of both, under the semantic-correctness constraints:
+//
+//  * two aggregation queries are only integrable when their predicates are
+//    identical (the merged aggregate list is the union, the epoch the GCD);
+//  * any combination involving an acquisition query merges into an
+//    acquisition query that acquires the union of the attributes either
+//    query needs (projections, aggregate inputs, predicate columns), the
+//    integration-union of the predicates, and the GCD of the epochs —
+//    aggregation answers are then derived at the base station from the raw
+//    rows;
+//  * two pure aggregation queries with different predicates are not
+//    rewritable (Section 4.3 relies on this).
+//
+// Coverage (`Covers`) is the structural test behind Algorithm 1's
+// `max == 1` case: a query is covered when its whole answer stream can be
+// derived from another query's stream, so integrating it changes nothing in
+// the network.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "query/query.h"
+
+namespace ttmqo {
+
+/// True when `a` and `b` may be rewritten into one synthetic query.
+bool IsRewritable(const Query& a, const Query& b);
+
+/// True when every answer of `covered` is derivable from the answer stream
+/// of `cover`: the cover's epoch divides the covered epoch, its predicates
+/// select a superset, and it carries the needed attributes or aggregates.
+bool Covers(const Query& cover, const Query& covered);
+
+/// Builds the canonical synthetic network query serving every query in
+/// `members` (id `id`).  The result is independent of member order.
+/// Requires members to be pairwise rewritable as a group (all-aggregation
+/// members must share identical predicates).
+Query BuildNetworkQuery(QueryId id, std::span<const Query> members);
+
+/// Integrates `q` into `base` (both possibly synthetic), yielding the
+/// merged network query with identifier `id`; `std::nullopt` when the pair
+/// is not rewritable.
+std::optional<Query> Integrate(QueryId id, const Query& base, const Query& q);
+
+}  // namespace ttmqo

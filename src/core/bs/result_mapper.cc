@@ -1,0 +1,106 @@
+#include "core/bs/result_mapper.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ttmqo {
+namespace {
+
+// The predicates the base station still has to apply: member constraints
+// not already enforced in-network by the synthetic query.  (The synthetic
+// query's own predicates filtered the rows at the source, and rows only
+// carry the synthetic projection — attributes of constraints the network
+// already applied in full need not be present.)
+PredicateSet ResidualPredicates(const Query& member, const Query& synthetic) {
+  PredicateSet residual;
+  for (const Predicate& p : member.predicates().AsList()) {
+    const auto applied = synthetic.predicates().ConstraintOn(p.attribute);
+    if (applied.has_value() && *applied == p.range) continue;
+    residual.Constrain(p.attribute, p.range);
+  }
+  return residual;
+}
+
+EpochResult MapAcquisitionMember(const EpochResult& synthetic,
+                                 const Query& member,
+                                 const PredicateSet& residual) {
+  EpochResult out;
+  out.query = member.id();
+  out.epoch_time = synthetic.epoch_time;
+  out.kind = QueryKind::kAcquisition;
+  for (const Reading& row : synthetic.rows) {
+    if (!residual.Matches(row)) continue;
+    Reading projected(row.node(), row.time());
+    for (Attribute attr : member.attributes()) {
+      projected.Set(attr, row.GetOrThrow(attr));
+    }
+    out.rows.push_back(std::move(projected));
+  }
+  return out;
+}
+
+EpochResult MapAggregationFromRows(const EpochResult& synthetic,
+                                   const Query& member,
+                                   const PredicateSet& residual) {
+  EpochResult out;
+  out.query = member.id();
+  out.epoch_time = synthetic.epoch_time;
+  out.kind = QueryKind::kAggregation;
+  std::vector<PartialAggregate> partials;
+  partials.reserve(member.aggregates().size());
+  for (const AggregateSpec& spec : member.aggregates()) {
+    partials.emplace_back(spec);
+  }
+  for (const Reading& row : synthetic.rows) {
+    if (!residual.Matches(row)) continue;
+    for (PartialAggregate& p : partials) {
+      p.Accumulate(row.GetOrThrow(p.spec().attribute));
+    }
+  }
+  for (const PartialAggregate& p : partials) {
+    out.aggregates.emplace_back(p.spec(), p.Finalize());
+  }
+  return out;
+}
+
+EpochResult MapAggregationSubset(const EpochResult& synthetic,
+                                 const Query& member) {
+  EpochResult out;
+  out.query = member.id();
+  out.epoch_time = synthetic.epoch_time;
+  out.kind = QueryKind::kAggregation;
+  for (const AggregateSpec& spec : member.aggregates()) {
+    const auto it = std::find_if(
+        synthetic.aggregates.begin(), synthetic.aggregates.end(),
+        [&](const auto& entry) { return entry.first == spec; });
+    Check(it != synthetic.aggregates.end(),
+          "synthetic aggregation result lacks a member's aggregate");
+    out.aggregates.emplace_back(spec, it->second);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<EpochResult> MapSyntheticResult(const EpochResult& synthetic,
+                                            const SyntheticQuery& sq) {
+  std::vector<EpochResult> results;
+  for (const auto& [uid, member] : sq.members) {
+    if (synthetic.epoch_time % member.epoch() != 0) continue;
+    if (member.kind() == QueryKind::kAcquisition) {
+      Check(synthetic.kind == QueryKind::kAcquisition,
+            "an acquisition member cannot be served by an aggregation query");
+      results.push_back(MapAcquisitionMember(
+          synthetic, member, ResidualPredicates(member, sq.query)));
+    } else if (synthetic.kind == QueryKind::kAcquisition) {
+      results.push_back(MapAggregationFromRows(
+          synthetic, member, ResidualPredicates(member, sq.query)));
+    } else {
+      results.push_back(MapAggregationSubset(synthetic, member));
+    }
+  }
+  return results;
+}
+
+}  // namespace ttmqo

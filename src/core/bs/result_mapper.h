@@ -1,0 +1,30 @@
+// Mapping synthetic-query results back to user-query results.
+//
+// "After the sensor network returns results for the synthetic queries,
+// corresponding results for user queries can be easily obtained through
+// mapping and calculation" (Section 1).  For each member user query whose
+// epoch fires at the synthetic result's epoch time:
+//
+//  * acquisition member over an acquisition synthetic: re-filter the rows
+//    with the member's own predicates and project its attribute list;
+//  * aggregation member over an aggregation synthetic: select the member's
+//    aggregate subset (predicates are identical by construction);
+//  * aggregation member over an acquisition synthetic: re-filter the raw
+//    rows and compute the aggregates at the base station.
+#pragma once
+
+#include <vector>
+
+#include "core/bs/rewriter.h"
+#include "query/result.h"
+
+namespace ttmqo {
+
+/// Derives the per-user results implied by one synthetic epoch result.
+/// Only members whose epoch divides the result's epoch time are answered
+/// (the synthetic query runs at the GCD of the member epochs, so it also
+/// fires at instants no member needs).
+std::vector<EpochResult> MapSyntheticResult(const EpochResult& synthetic,
+                                            const SyntheticQuery& sq);
+
+}  // namespace ttmqo

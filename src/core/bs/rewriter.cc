@@ -1,0 +1,223 @@
+#include "core/bs/rewriter.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ttmqo {
+namespace {
+
+// Structural equality of two network queries, ignoring the id.
+bool SameRequest(const Query& a, const Query& b) {
+  return a.kind() == b.kind() && a.epoch() == b.epoch() &&
+         a.attributes() == b.attributes() && a.aggregates() == b.aggregates() &&
+         a.predicates() == b.predicates();
+}
+
+}  // namespace
+
+BaseStationOptimizer::BaseStationOptimizer(const CostModel& cost,
+                                           Options options)
+    : cost_(&cost),
+      options_(options),
+      next_synthetic_id_(options.first_synthetic_id) {
+  CheckArg(options.alpha >= 0.0, "BaseStationOptimizer: alpha must be >= 0");
+}
+
+double BaseStationOptimizer::BenefitRate(const Query& qi,
+                                         const SyntheticQuery& qj) const {
+  if (Covers(qj.query, qi)) return 1.0;
+  if (!IsRewritable(qj.query, qi)) return 0.0;
+  const Query members[] = {qj.query, qi};
+  const Query integrated = BuildNetworkQuery(qj.query.id(), members);
+  const double cost_qi = cost_->Cost(qi);
+  if (cost_qi <= 0.0) return 0.0;
+  const double rate =
+      cost_->Benefit(qi, qj.query, integrated) / cost_qi;
+  // Exactly 1.0 is reserved for structural coverage; a non-covering merge
+  // always changes the network query, so keep it strictly below.
+  return std::min(rate, 1.0 - 1e-9);
+}
+
+void BaseStationOptimizer::InsertBundle(const Query& net_query,
+                                        std::map<QueryId, Query> members,
+                                        Actions& actions) {
+  // Algorithm 1, lines 4-10: find the most beneficial synthetic query.
+  double best_rate = 0.0;
+  QueryId best_id = kInvalidQueryId;
+  for (const auto& [id, sq] : synthetics_) {
+    const double rate = BenefitRate(net_query, sq);
+    if (rate > best_rate) {
+      best_rate = rate;
+      best_id = id;
+      if (rate >= 1.0) break;  // covered; cannot do better
+    }
+  }
+
+  if (best_rate >= 1.0) {
+    // Lines 11-12: covered — absorb the members, network unchanged.
+    SyntheticQuery& sq = synthetics_.at(best_id);
+    for (auto& [uid, uq] : members) {
+      user_to_synthetic_[uid] = best_id;
+      sq.members.emplace(uid, std::move(uq));
+    }
+    RecomputeBenefit(sq);
+    return;
+  }
+
+  if (best_rate > 0.0) {
+    // Lines 13-14: integrate with the best synthetic query, then re-insert
+    // the merged bundle to exploit chained rewrites.
+    auto node = synthetics_.extract(best_id);
+    SyntheticQuery& sq = node.mapped();
+    actions.abort.push_back(best_id);
+    for (auto& [uid, uq] : sq.members) {
+      members.emplace(uid, std::move(uq));
+    }
+    std::vector<Query> member_queries;
+    member_queries.reserve(members.size());
+    for (const auto& [uid, uq] : members) member_queries.push_back(uq);
+    const Query merged =
+        BuildNetworkQuery(NextSyntheticId(), member_queries);
+    InsertBundle(merged, std::move(members), actions);
+    return;
+  }
+
+  // Lines 15-16 (and 1-2): no beneficial rewrite — run the bundle as its
+  // own synthetic query.
+  const QueryId sid =
+      net_query.id() >= options_.first_synthetic_id
+          ? net_query.id()
+          : NextSyntheticId();
+  SyntheticQuery sq(net_query.WithId(sid));
+  for (auto& [uid, uq] : members) {
+    user_to_synthetic_[uid] = sid;
+    sq.members.emplace(uid, std::move(uq));
+  }
+  RecomputeBenefit(sq);
+  actions.inject.push_back(sq.query);
+  synthetics_.emplace(sid, std::move(sq));
+}
+
+BaseStationOptimizer::Actions BaseStationOptimizer::InsertUserQuery(
+    const Query& query) {
+  CheckArg(query.id() < options_.first_synthetic_id,
+           "InsertUserQuery: user id collides with the synthetic id space");
+  CheckArg(!user_to_synthetic_.contains(query.id()),
+           "InsertUserQuery: duplicate user query id");
+  Actions actions;
+  std::map<QueryId, Query> members;
+  members.emplace(query.id(), query);
+  InsertBundle(query, std::move(members), actions);
+  Deduplicate(actions);
+  return actions;
+}
+
+BaseStationOptimizer::Actions BaseStationOptimizer::TerminateUserQuery(
+    QueryId user) {
+  const auto user_it = user_to_synthetic_.find(user);
+  CheckArg(user_it != user_to_synthetic_.end(),
+           "TerminateUserQuery: unknown user query");
+  const QueryId sid = user_it->second;
+  SyntheticQuery& sq = synthetics_.at(sid);
+
+  Actions actions;
+  const Query leaving = sq.members.at(user);
+  user_to_synthetic_.erase(user_it);
+  sq.members.erase(user);
+
+  if (sq.members.empty()) {
+    // Last member gone: retire the synthetic query.
+    actions.abort.push_back(sid);
+    synthetics_.erase(sid);
+    Deduplicate(actions);
+    return actions;
+  }
+
+  // "Some count decreased to 0" <=> the canonical query of the remaining
+  // members no longer requests everything the running one does.
+  std::vector<Query> remaining;
+  remaining.reserve(sq.members.size());
+  for (const auto& [uid, uq] : sq.members) remaining.push_back(uq);
+  const Query rebuilt = BuildNetworkQuery(sq.query.id(), remaining);
+  const bool requirements_shrank = !SameRequest(rebuilt, sq.query);
+
+  // Algorithm 2, line 5: rebuild only when the leaving query's cost
+  // outweighs the synthetic query's benefit, scaled by alpha.
+  if (requirements_shrank &&
+      cost_->Cost(leaving) > sq.benefit * options_.alpha) {
+    actions.abort.push_back(sid);
+    auto node = synthetics_.extract(sid);
+    for (auto& [uid, uq] : node.mapped().members) {
+      user_to_synthetic_.erase(uid);
+      std::map<QueryId, Query> members;
+      members.emplace(uid, uq);
+      InsertBundle(uq, std::move(members), actions);
+    }
+    Deduplicate(actions);
+    return actions;
+  }
+
+  // Keep the (possibly over-wide) synthetic query; just update its benefit.
+  RecomputeBenefit(sq);
+  return actions;
+}
+
+void BaseStationOptimizer::RecomputeBenefit(SyntheticQuery& sq) const {
+  double member_cost = 0.0;
+  for (const auto& [uid, uq] : sq.members) member_cost += cost_->Cost(uq);
+  sq.benefit = member_cost - cost_->Cost(sq.query);
+}
+
+const SyntheticQuery* BaseStationOptimizer::SyntheticOf(QueryId user) const {
+  const auto it = user_to_synthetic_.find(user);
+  if (it == user_to_synthetic_.end()) return nullptr;
+  return &synthetics_.at(it->second);
+}
+
+const SyntheticQuery* BaseStationOptimizer::FindSynthetic(QueryId id) const {
+  const auto it = synthetics_.find(id);
+  return it == synthetics_.end() ? nullptr : &it->second;
+}
+
+std::vector<const SyntheticQuery*> BaseStationOptimizer::Synthetics() const {
+  std::vector<const SyntheticQuery*> out;
+  out.reserve(synthetics_.size());
+  for (const auto& [id, sq] : synthetics_) out.push_back(&sq);
+  return out;
+}
+
+double BaseStationOptimizer::TotalUserCost() const {
+  double total = 0.0;
+  for (const auto& [id, sq] : synthetics_) {
+    for (const auto& [uid, uq] : sq.members) total += cost_->Cost(uq);
+  }
+  return total;
+}
+
+double BaseStationOptimizer::TotalBenefit() const {
+  double total = 0.0;
+  for (const auto& [id, sq] : synthetics_) {
+    double member_cost = 0.0;
+    for (const auto& [uid, uq] : sq.members) member_cost += cost_->Cost(uq);
+    total += member_cost - cost_->Cost(sq.query);
+  }
+  return total;
+}
+
+void BaseStationOptimizer::Deduplicate(Actions& actions) {
+  // A synthetic query injected and aborted within the same call never
+  // reaches the network; cancel the pair.
+  for (auto it = actions.inject.begin(); it != actions.inject.end();) {
+    const auto abort_it = std::find(actions.abort.begin(),
+                                    actions.abort.end(), it->id());
+    if (abort_it != actions.abort.end()) {
+      actions.abort.erase(abort_it);
+      it = actions.inject.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace ttmqo

@@ -1,0 +1,120 @@
+// Tier 1: the base-station query rewriter (Sections 3.1.3-3.1.4).
+//
+// Maintains the set of running *synthetic* queries.  `InsertUserQuery`
+// implements Algorithm 1: find the synthetic query with the highest benefit
+// rate (benefit / cost of the inserted query); a rate of 1 means the new
+// query is covered and nothing changes in the network; a positive rate
+// triggers integration, after which the updated synthetic query is
+// recursively re-inserted to exploit chained merges (the paper's
+// q1/q2/q3 example); otherwise the query becomes its own synthetic query.
+// `TerminateUserQuery` implements Algorithm 2: when the leaving query was
+// the only member needing some requested data, the synthetic query is
+// rebuilt only if cost(q) > benefit * alpha — small leftovers are tolerated
+// to spare the network churn.
+//
+// The rewriter is a pure decision component: it returns the abort/inject
+// actions and lets the engine talk to the network.  The paper's per-field
+// `count` bookkeeping is realized by keeping each member query in the
+// synthetic query's `members` table and re-deriving the canonical network
+// query; a difference against the current network query is exactly "some
+// count dropped to 0".
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/bs/cost_model.h"
+#include "core/bs/integration.h"
+#include "query/query.h"
+
+namespace ttmqo {
+
+/// One synthetic query: the network query plus the user queries it serves
+/// (the paper's from_list) and its current benefit.
+struct SyntheticQuery {
+  explicit SyntheticQuery(Query q) : query(std::move(q)) {}
+
+  /// The query actually running in the sensor network.
+  Query query;
+
+  /// Member user queries, keyed by user query id.
+  std::map<QueryId, Query> members;
+
+  /// sum(cost(member)) - cost(query); maintained by the rewriter.
+  double benefit = 0.0;
+};
+
+/// The tier-1 optimizer.
+class BaseStationOptimizer {
+ public:
+  struct Options {
+    /// Algorithm 2's aggressiveness knob; the paper finds 0.6 best.
+    double alpha = 0.6;
+    /// Synthetic query ids are allocated from here; user ids must be below.
+    QueryId first_synthetic_id = 1u << 20;
+  };
+
+  /// Network operations a call produced: abort these synthetic queries,
+  /// then inject those.  Ids never overlap between the two lists.
+  struct Actions {
+    std::vector<QueryId> abort;
+    std::vector<Query> inject;
+
+    bool Empty() const { return abort.empty() && inject.empty(); }
+  };
+
+  /// `cost` must outlive the optimizer.
+  explicit BaseStationOptimizer(const CostModel& cost)
+      : BaseStationOptimizer(cost, Options()) {}
+  BaseStationOptimizer(const CostModel& cost, Options options);
+
+  /// Algorithm 1.  The query id must be unused and below
+  /// `first_synthetic_id`.
+  Actions InsertUserQuery(const Query& query);
+
+  /// Algorithm 2.
+  Actions TerminateUserQuery(QueryId user);
+
+  /// The synthetic query currently serving `user`, or nullptr.
+  const SyntheticQuery* SyntheticOf(QueryId user) const;
+
+  /// The synthetic query with network id `id`, or nullptr.
+  const SyntheticQuery* FindSynthetic(QueryId id) const;
+
+  /// All running synthetic queries, ascending by id.
+  std::vector<const SyntheticQuery*> Synthetics() const;
+
+  /// Number of running synthetic queries.
+  std::size_t NumSynthetic() const { return synthetics_.size(); }
+
+  /// Number of running user queries.
+  std::size_t NumUserQueries() const { return user_to_synthetic_.size(); }
+
+  /// Sum of the members' standalone costs (Eq. 3) over all synthetics.
+  double TotalUserCost() const;
+
+  /// Sum of synthetic-query benefits; TotalUserCost() - cost of what
+  /// actually runs.  benefit ratio = TotalBenefit() / TotalUserCost().
+  double TotalBenefit() const;
+
+  /// The benefit rate Beneficial(q_i, q_j) of Algorithm 1: 1 for coverage,
+  /// benefit/cost(q_i) when rewritable (strictly below 1), else 0 means "no
+  /// benefit".  Exposed for tests and benches.
+  double BenefitRate(const Query& qi, const SyntheticQuery& qj) const;
+
+ private:
+  void InsertBundle(const Query& net_query,
+                    std::map<QueryId, Query> members, Actions& actions);
+  void RecomputeBenefit(SyntheticQuery& sq) const;
+  QueryId NextSyntheticId() { return next_synthetic_id_++; }
+  static void Deduplicate(Actions& actions);
+
+  const CostModel* cost_;
+  Options options_;
+  QueryId next_synthetic_id_;
+  std::map<QueryId, SyntheticQuery> synthetics_;
+  std::map<QueryId, QueryId> user_to_synthetic_;
+};
+
+}  // namespace ttmqo

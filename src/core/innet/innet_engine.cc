@@ -1,0 +1,709 @@
+#include "core/innet/innet_engine.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/mathx.h"
+
+namespace ttmqo {
+namespace {
+
+constexpr std::size_t kAbortPayloadBytes = 2;
+
+// Ticks and slots older than this are pruned from per-node bookkeeping.
+constexpr SimDuration kPruneHorizonMs = 32 * kMinEpochDurationMs;
+
+void MergePartialVectors(std::vector<PartialAggregate>& into,
+                         const std::vector<PartialAggregate>& from) {
+  Check(into.size() == from.size(),
+        "partial aggregate vectors must align by spec");
+  for (std::size_t i = 0; i < into.size(); ++i) into[i].Merge(from[i]);
+}
+
+std::vector<QueryId> AllQueriesOf(
+    const std::map<NodeId, std::vector<QueryId>>& dest_queries) {
+  std::vector<QueryId> queries;
+  for (const auto& [dest, qs] : dest_queries) {
+    queries.insert(queries.end(), qs.begin(), qs.end());
+  }
+  std::sort(queries.begin(), queries.end());
+  queries.erase(std::unique(queries.begin(), queries.end()), queries.end());
+  return queries;
+}
+
+}  // namespace
+
+InNetworkEngine::InNetworkEngine(Network& network, const FieldModel& field,
+                                 ResultSink* sink, InNetOptions options)
+    : network_(network),
+      field_(field),
+      sink_(sink),
+      options_(options),
+      tree_(network.topology(), network.link_quality()),
+      srt_(network.topology(), tree_),
+      levels_(network.topology()),
+      nodes_(network.topology().size()) {
+  for (NodeId node : network_.topology().AllNodes()) {
+    network_.SetReceiver(node, [this, node](const Message& msg,
+                                            bool addressed) {
+      HandleMessage(node, msg, addressed);
+    });
+  }
+}
+
+SimDuration InNetworkEngine::SourceJitter(NodeId node) const {
+  if (options_.source_jitter_ms <= 0) return 0;
+  return (static_cast<SimDuration>(node) * 37) %
+         (options_.source_jitter_ms + 1);
+}
+
+SimDuration InNetworkEngine::SlotOffset(NodeId node) const {
+  return static_cast<SimDuration>(network_.topology().MaxDepth() -
+                                  levels_.LevelOf(node)) *
+             options_.agg_slot_ms +
+         SourceJitter(node);
+}
+
+// -----------------------------------------------------------------------
+// Submission / termination (base station API)
+// -----------------------------------------------------------------------
+
+void InNetworkEngine::SubmitQuery(const Query& query) {
+  CheckArg(!bs_queries_.contains(query.id()),
+           "InNetworkEngine: duplicate query id");
+  bs_queries_.emplace(query.id(), BsQueryState(query));
+  nodes_[kBaseStationId].seen_propagation.insert(query.id());
+
+  Message msg;
+  msg.cls = MessageClass::kQueryPropagation;
+  msg.mode = AddressMode::kBroadcast;
+  msg.sender = kBaseStationId;
+  msg.payload_bytes = PropagationPayloadBytes(query) + 1;  // piggyback bit
+  msg.payload = std::make_shared<InNetPropagationPayload>(
+      query, /*has_data=*/false);
+  network_.Send(std::move(msg));
+
+  ScheduleEpochClose(query.id(),
+                     AlignUp(network_.sim().Now() + 1, query.epoch()));
+}
+
+void InNetworkEngine::TerminateQuery(QueryId id) {
+  auto it = bs_queries_.find(id);
+  CheckArg(it != bs_queries_.end() && !it->second.terminated,
+           "InNetworkEngine: terminating unknown or finished query");
+  it->second.terminated = true;
+  it->second.rows.clear();
+  it->second.partials.clear();
+  nodes_[kBaseStationId].seen_abort.insert(id);
+
+  Message msg;
+  msg.cls = MessageClass::kQueryAbort;
+  msg.mode = AddressMode::kBroadcast;
+  msg.sender = kBaseStationId;
+  msg.payload_bytes = kAbortPayloadBytes;
+  msg.payload = std::make_shared<QueryAbortPayload>(id);
+  network_.Send(std::move(msg));
+}
+
+// -----------------------------------------------------------------------
+// Message handling
+// -----------------------------------------------------------------------
+
+void InNetworkEngine::HandleMessage(NodeId self, const Message& msg,
+                                    bool addressed) {
+  NodeState& state = nodes_[self];
+
+  if (const auto* prop =
+          dynamic_cast<const InNetPropagationPayload*>(msg.payload.get())) {
+    // Piggybacked data bit: learn it from every copy of the flood, even
+    // duplicates, but only about upper-level neighbors.
+    if (prop->sender_has_data) {
+      NoteHasData(self, msg.sender, {prop->query.id()},
+                  network_.sim().Now());
+    }
+    if (state.seen_propagation.contains(prop->query.id())) return;
+    state.seen_propagation.insert(prop->query.id());
+    if (self == kBaseStationId) return;
+    if (network_.IsAsleep(self)) network_.SetAsleep(self, false);
+    bool has_data = false;
+    if (ShouldInstall(self, prop->query)) {
+      InstallQuery(self, prop->query);
+      // Evaluate the piggybacked "I have data" bit from the current field.
+      const Reading sample = field_.SampleReading(
+          self, network_.topology().PositionOf(self),
+          prop->query.AcquiredAttributes(), network_.sim().Now());
+      has_data = prop->query.predicates().Matches(sample);
+    }
+    if (!ShouldForwardPropagation(self, prop->query)) return;
+    state.relayed_propagation.insert(prop->query.id());
+    const Query query = prop->query;
+    network_.sim().ScheduleAfter(
+        SourceJitter(self) + 1, [this, self, query, has_data]() {
+          if (network_.IsAsleep(self)) network_.SetAsleep(self, false);
+          Message fwd;
+          fwd.cls = MessageClass::kQueryPropagation;
+          fwd.mode = AddressMode::kBroadcast;
+          fwd.sender = self;
+          fwd.payload_bytes = PropagationPayloadBytes(query) + 1;
+          fwd.payload =
+              std::make_shared<InNetPropagationPayload>(query, has_data);
+          network_.Send(std::move(fwd));
+        });
+    return;
+  }
+
+  if (const auto* abort =
+          dynamic_cast<const QueryAbortPayload*>(msg.payload.get())) {
+    if (state.seen_abort.contains(abort->query)) return;
+    state.seen_abort.insert(abort->query);
+    if (self == kBaseStationId) return;
+    if (network_.IsAsleep(self)) network_.SetAsleep(self, false);
+    RemoveQuery(self, abort->query);
+    // The abort follows the propagation's prune.
+    if (!state.relayed_propagation.contains(abort->query)) return;
+    state.relayed_propagation.erase(abort->query);
+    const QueryId id = abort->query;
+    network_.sim().ScheduleAfter(SourceJitter(self) + 1, [this, self, id]() {
+      if (network_.IsAsleep(self)) network_.SetAsleep(self, false);
+      Message fwd;
+      fwd.cls = MessageClass::kQueryAbort;
+      fwd.mode = AddressMode::kBroadcast;
+      fwd.sender = self;
+      fwd.payload_bytes = kAbortPayloadBytes;
+      fwd.payload = std::make_shared<QueryAbortPayload>(id);
+      network_.Send(std::move(fwd));
+    });
+    return;
+  }
+
+  if (const auto* row =
+          dynamic_cast<const SharedRowPayload*>(msg.payload.get())) {
+    // The broadcast channel teaches us who has data: a row batch heard
+    // from a neighbor that contains the neighbor's own reading marks it.
+    for (const RowEntry& entry : row->entries) {
+      if (entry.row.node() == msg.sender) {
+        NoteHasData(self, msg.sender, entry.queries, row->epoch_time);
+      }
+    }
+    if (!addressed) return;
+    const auto it = row->dest_queries.find(self);
+    if (it == row->dest_queries.end() || it->second.empty()) return;
+    if (network_.IsAsleep(self)) network_.SetAsleep(self, false);
+    if (self == kBaseStationId) {
+      BsAccept(msg);
+      return;
+    }
+    // Keep only the (row, query) pairs this node is responsible for.
+    std::vector<RowEntry> mine;
+    for (const RowEntry& entry : row->entries) {
+      RowEntry kept;
+      kept.row = entry.row;
+      for (QueryId q : entry.queries) {
+        if (std::find(it->second.begin(), it->second.end(), q) !=
+            it->second.end()) {
+          kept.queries.push_back(q);
+        }
+      }
+      if (!kept.queries.empty()) mine.push_back(std::move(kept));
+    }
+    if (mine.empty()) return;
+    state.last_relay = network_.sim().Now();
+    const SimTime t = row->epoch_time;
+    if (options_.shared_messages && state.slot_scheduled.contains(t) &&
+        !state.slot_done.contains(t)) {
+      // Our packing slot has not fired yet: the relayed rows ride along
+      // with our own reading in one message.
+      auto& buffer = state.row_buffer[t];
+      buffer.insert(buffer.end(), std::make_move_iterator(mine.begin()),
+                    std::make_move_iterator(mine.end()));
+    } else {
+      SendRows(self, t, std::move(mine));
+    }
+    return;
+  }
+
+  if (const auto* agg =
+          dynamic_cast<const SharedAggPayload*>(msg.payload.get())) {
+    // Any carrier of partials for q is a good parent for q: forwarding to
+    // it lets the aggregates merge one hop earlier.
+    NoteHasData(self, msg.sender, AllQueriesOf(agg->dest_queries),
+                agg->epoch_time);
+    if (!addressed) return;
+    const auto it = agg->dest_queries.find(self);
+    if (it == agg->dest_queries.end() || it->second.empty()) return;
+    if (network_.IsAsleep(self)) network_.SetAsleep(self, false);
+    if (self == kBaseStationId) {
+      BsAccept(msg);
+      return;
+    }
+    state.last_relay = network_.sim().Now();
+    const SimTime t = agg->epoch_time;
+    std::map<QueryId, std::vector<PartialAggregate>> mine;
+    for (QueryId q : it->second) {
+      const auto part_it = agg->partials.find(q);
+      Check(part_it != agg->partials.end(),
+            "shared agg payload lacks partials for an addressed query");
+      mine.emplace(q, part_it->second);
+    }
+    if (state.slot_scheduled.contains(t) && !state.slot_done.contains(t)) {
+      // Our own shared slot for this tick has not fired: merge and ride
+      // along (the in-network aggregation saving).
+      auto& buffer = state.agg_buffer[t];
+      for (auto& [q, partials] : mine) {
+        auto [buf_it, inserted] = buffer.try_emplace(q, partials);
+        if (!inserted) MergePartialVectors(buf_it->second, partials);
+      }
+    } else {
+      SendAgg(self, t, std::move(mine));
+    }
+    return;
+  }
+}
+
+// -----------------------------------------------------------------------
+// Query install / remove and the shared tick
+// -----------------------------------------------------------------------
+
+bool InNetworkEngine::ShouldInstall(NodeId self, const Query& query) const {
+  if (!options_.use_semantic_routing) return true;
+  // Value-based predicates cannot exclude a node in advance; constraints
+  // on the constant attributes (nodeid, position) can.
+  return NodeMayMatch(self, network_.topology().PositionOf(self),
+                      query.predicates());
+}
+
+bool InNetworkEngine::ShouldForwardPropagation(NodeId self,
+                                               const Query& query) const {
+  if (!options_.use_semantic_routing) return true;
+  if (!SemanticRoutingTree::IsPrunable(query.predicates())) return true;
+  for (NodeId child : tree_.ChildrenOf(self)) {
+    if (srt_.SubtreeMayMatch(child, query.predicates())) return true;
+  }
+  return false;
+}
+
+void InNetworkEngine::InstallQuery(NodeId self, const Query& query) {
+  nodes_[self].active.emplace(query.id(), query);
+  ScheduleTick(self);
+}
+
+void InNetworkEngine::RemoveQuery(NodeId self, QueryId id) {
+  NodeState& state = nodes_[self];
+  state.active.erase(id);
+  for (auto& [t, per_query] : state.agg_buffer) per_query.erase(id);
+  ScheduleTick(self);
+}
+
+void InNetworkEngine::ScheduleTick(NodeId self) {
+  NodeState& state = nodes_[self];
+  if (state.active.empty()) {
+    state.tick_scheduled_for = -1;
+    return;
+  }
+  const SimTime now = network_.sim().Now();
+  SimTime next = std::numeric_limits<SimTime>::max();
+  for (const auto& [id, query] : state.active) {
+    next = std::min(next, AlignUp(now + 1, query.epoch()));
+  }
+  if (state.tick_scheduled_for == next) return;
+  state.tick_scheduled_for = next;
+  network_.sim().ScheduleAt(next,
+                            [this, self, next]() { OnTick(self, next); });
+}
+
+void InNetworkEngine::OnTick(NodeId self, SimTime t) {
+  NodeState& state = nodes_[self];
+  if (network_.IsFailed(self)) return;
+  if (state.tick_scheduled_for != t) return;  // stale event
+  if (network_.IsAsleep(self)) network_.SetAsleep(self, false);
+
+  // Sharing over time: all queries firing at t use one sample acquisition.
+  std::vector<const Query*> triggered;
+  std::vector<Attribute> attrs;
+  for (const auto& [id, query] : state.active) {
+    if (t % query.epoch() != 0) continue;
+    triggered.push_back(&query);
+    const auto acquired = query.AcquiredAttributes();
+    attrs.insert(attrs.end(), acquired.begin(), acquired.end());
+  }
+  std::sort(attrs.begin(), attrs.end());
+  attrs.erase(std::unique(attrs.begin(), attrs.end()), attrs.end());
+
+  bool any_match = false;
+  if (!triggered.empty()) {
+    const Reading sample = field_.SampleReading(
+        self, network_.topology().PositionOf(self), attrs, t);
+
+    std::vector<QueryId> matched_acq;
+    std::vector<Attribute> row_attrs;
+    for (const Query* query : triggered) {
+      const bool match = query->predicates().Matches(sample);
+      if (query->kind() == QueryKind::kAggregation) {
+        if (match) {
+          any_match = true;
+          std::vector<PartialAggregate> own;
+          own.reserve(query->aggregates().size());
+          for (const AggregateSpec& spec : query->aggregates()) {
+            own.push_back(PartialAggregate::OfValue(
+                spec, sample.GetOrThrow(spec.attribute)));
+          }
+          auto& buffer = state.agg_buffer[t];
+          auto [it, inserted] = buffer.try_emplace(query->id(), std::move(own));
+          if (!inserted) MergePartialVectors(it->second, own);
+        }
+      } else if (match) {
+        any_match = true;
+        matched_acq.push_back(query->id());
+        row_attrs.insert(row_attrs.end(), query->attributes().begin(),
+                         query->attributes().end());
+      }
+    }
+
+    // One shared transmission slot per tick, staggered bottom-up so that
+    // children's rows and partials arrive before parents transmit and ride
+    // along in the parents' packed messages.
+    if (!state.slot_scheduled.contains(t)) {
+      state.slot_scheduled.insert(t);
+      network_.sim().ScheduleAt(t + SlotOffset(self),
+                                [this, self, t]() { OnSlot(self, t); });
+    }
+
+    if (!matched_acq.empty()) {
+      std::sort(row_attrs.begin(), row_attrs.end());
+      row_attrs.erase(std::unique(row_attrs.begin(), row_attrs.end()),
+                      row_attrs.end());
+      RowEntry own;
+      own.row = Reading(self, t);
+      for (Attribute attr : row_attrs) {
+        own.row.Set(attr, sample.GetOrThrow(attr));
+      }
+      own.queries = matched_acq;
+      if (options_.shared_messages) {
+        state.row_buffer[t].push_back(std::move(own));
+      } else {
+        // Ablation: no packing — one immediate message per query.
+        network_.sim().ScheduleAfter(
+            SourceJitter(self), [this, self, t, own]() {
+              if (nodes_[self].active.empty()) return;
+              if (network_.IsAsleep(self)) network_.SetAsleep(self, false);
+              for (QueryId q : own.queries) {
+                RowEntry single;
+                single.row = own.row;
+                single.queries = {q};
+                SendRows(self, t, {std::move(single)});
+              }
+            });
+      }
+    }
+  }
+  state.matched_last_tick = any_match;
+
+  // Prune stale per-tick bookkeeping.
+  const SimTime horizon = t - kPruneHorizonMs;
+  std::erase_if(state.slot_scheduled,
+                [horizon](SimTime s) { return s < horizon; });
+  std::erase_if(state.slot_done, [horizon](SimTime s) { return s < horizon; });
+  std::erase_if(state.agg_buffer,
+                [horizon](const auto& e) { return e.first < horizon; });
+  std::erase_if(state.row_buffer,
+                [horizon](const auto& e) { return e.first < horizon; });
+
+  ScheduleTick(self);
+
+  // Decide about sleeping once this tick's forwarding duties are over.
+  if (options_.enable_sleep) {
+    const SimDuration idle_check =
+        SlotOffset(self) + options_.agg_slot_ms + options_.source_jitter_ms;
+    network_.sim().ScheduleAt(t + idle_check,
+                              [this, self, t]() { MaybeSleep(self, t); });
+  }
+}
+
+void InNetworkEngine::OnSlot(NodeId self, SimTime t) {
+  NodeState& state = nodes_[self];
+  if (network_.IsFailed(self)) return;
+  if (state.slot_done.contains(t)) return;
+  state.slot_done.insert(t);
+
+  // Packed rows (own reading plus everything relayed before the slot).
+  const auto row_it = state.row_buffer.find(t);
+  if (row_it != state.row_buffer.end()) {
+    std::vector<RowEntry> rows = std::move(row_it->second);
+    state.row_buffer.erase(row_it);
+    if (!rows.empty()) {
+      if (network_.IsAsleep(self)) network_.SetAsleep(self, false);
+      SendRows(self, t, std::move(rows));
+    }
+  }
+
+  // Merged partial aggregates.
+  const auto it = state.agg_buffer.find(t);
+  if (it == state.agg_buffer.end()) return;
+  std::map<QueryId, std::vector<PartialAggregate>> partials =
+      std::move(it->second);
+  state.agg_buffer.erase(it);
+  std::erase_if(partials, [](const auto& entry) {
+    return entry.second.empty() || entry.second.front().count() == 0;
+  });
+  if (partials.empty()) return;
+  if (network_.IsAsleep(self)) network_.SetAsleep(self, false);
+  if (options_.shared_messages) {
+    SendAgg(self, t, std::move(partials));
+  } else {
+    for (auto& [q, p] : partials) {
+      std::map<QueryId, std::vector<PartialAggregate>> single;
+      single.emplace(q, std::move(p));
+      SendAgg(self, t, std::move(single));
+    }
+  }
+}
+
+// -----------------------------------------------------------------------
+// Route selection and transmission
+// -----------------------------------------------------------------------
+
+std::map<NodeId, std::vector<QueryId>> InNetworkEngine::ChooseParents(
+    NodeId self, std::vector<QueryId> queries) const {
+  std::map<NodeId, std::vector<QueryId>> groups;
+  if (!options_.query_aware_routing) {
+    groups.emplace(tree_.ParentOf(self), std::move(queries));
+    return groups;
+  }
+  const NodeState& state = nodes_[self];
+  // Beacon-based failure detection: dead neighbors are not candidates.
+  // When every upper-level neighbor is dead the node is cut off; fall back
+  // to the full list (the messages will be lost, which is the truth).
+  std::vector<NodeId> upper;
+  for (NodeId candidate : levels_.UpperNeighbors(self)) {
+    if (!network_.IsFailed(candidate)) upper.push_back(candidate);
+  }
+  if (upper.empty()) upper = levels_.UpperNeighbors(self);
+  Check(!upper.empty(), "every non-root node has an upper-level neighbor");
+  const SimTime now = network_.sim().Now();
+
+  auto is_fresh = [&](NodeId neighbor, QueryId q) {
+    const auto nb_it = state.has_data.find(neighbor);
+    if (nb_it == state.has_data.end()) return false;
+    const auto q_it = nb_it->second.find(q);
+    if (q_it == nb_it->second.end()) return false;
+    const auto active_it = state.active.find(q);
+    if (active_it == state.active.end()) return false;
+    const SimDuration ttl = static_cast<SimDuration>(
+                                options_.has_data_ttl_epochs) *
+                            active_it->second.epoch();
+    return q_it->second + ttl >= now;
+  };
+
+  std::vector<QueryId> remaining = std::move(queries);
+  while (!remaining.empty()) {
+    NodeId best = upper.front();
+    std::vector<QueryId> best_covered;
+    double best_quality = -1.0;
+    for (NodeId candidate : upper) {
+      std::vector<QueryId> covered;
+      for (QueryId q : remaining) {
+        if (is_fresh(candidate, q)) covered.push_back(q);
+      }
+      const double quality = network_.link_quality().Quality(self, candidate);
+      if (covered.size() > best_covered.size() ||
+          (covered.size() == best_covered.size() &&
+           quality > best_quality)) {
+        best = candidate;
+        best_covered = std::move(covered);
+        best_quality = quality;
+      }
+    }
+    if (best_covered.empty()) {
+      // Nobody advertises data for the rest: give it to the most stable
+      // link (this degenerates to TinyDB's choice on a cold start).
+      auto& bucket = groups[best];
+      bucket.insert(bucket.end(), remaining.begin(), remaining.end());
+      break;
+    }
+    auto& bucket = groups[best];
+    bucket.insert(bucket.end(), best_covered.begin(), best_covered.end());
+    std::erase_if(remaining, [&](QueryId q) {
+      return std::find(best_covered.begin(), best_covered.end(), q) !=
+             best_covered.end();
+    });
+  }
+  for (auto& [parent, qs] : groups) std::sort(qs.begin(), qs.end());
+  return groups;
+}
+
+void InNetworkEngine::SendRows(NodeId self, SimTime t,
+                               std::vector<RowEntry> entries) {
+  // Rows whose queries route to the same next-hop split pack into one
+  // transmission; distinct splits become distinct messages.
+  std::map<std::map<NodeId, std::vector<QueryId>>, std::vector<RowEntry>>
+      groups;
+  for (RowEntry& entry : entries) {
+    groups[ChooseParents(self, entry.queries)].push_back(std::move(entry));
+  }
+  for (auto& [dest_queries, rows] : groups) {
+    auto payload = std::make_shared<SharedRowPayload>();
+    payload->epoch_time = t;
+    payload->entries = std::move(rows);
+    payload->dest_queries = dest_queries;
+
+    Message msg;
+    msg.cls = MessageClass::kResult;
+    msg.mode = payload->dest_queries.size() == 1 ? AddressMode::kUnicast
+                                                 : AddressMode::kMulticast;
+    msg.sender = self;
+    for (const auto& [dest, qs] : payload->dest_queries) {
+      msg.destinations.push_back(dest);
+    }
+    msg.payload_bytes = SharedRowBytes(*payload);
+    msg.payload = std::move(payload);
+    network_.Send(std::move(msg));
+  }
+}
+
+void InNetworkEngine::SendAgg(
+    NodeId self, SimTime t,
+    std::map<QueryId, std::vector<PartialAggregate>> partials) {
+  std::vector<QueryId> queries;
+  for (const auto& [q, p] : partials) queries.push_back(q);
+
+  auto payload = std::make_shared<SharedAggPayload>();
+  payload->epoch_time = t;
+  payload->partials = std::move(partials);
+  payload->dest_queries = ChooseParents(self, std::move(queries));
+
+  Message msg;
+  msg.cls = MessageClass::kResult;
+  msg.mode = payload->dest_queries.size() == 1 ? AddressMode::kUnicast
+                                               : AddressMode::kMulticast;
+  msg.sender = self;
+  for (const auto& [dest, qs] : payload->dest_queries) {
+    msg.destinations.push_back(dest);
+  }
+  msg.payload_bytes = SharedAggBytes(*payload);
+  msg.payload = std::move(payload);
+  network_.Send(std::move(msg));
+}
+
+void InNetworkEngine::NoteHasData(NodeId self, NodeId sender,
+                                  const std::vector<QueryId>& queries,
+                                  SimTime when) {
+  // Only upper-level neighbors are parent candidates.
+  if (levels_.LevelOf(sender) + 1 != levels_.LevelOf(self)) return;
+  auto& per_neighbor = nodes_[self].has_data[sender];
+  for (QueryId q : queries) {
+    SimTime& last = per_neighbor[q];
+    last = std::max(last, when);
+  }
+}
+
+void InNetworkEngine::MaybeSleep(NodeId self, SimTime t) {
+  NodeState& state = nodes_[self];
+  if (state.matched_last_tick) return;
+  if (state.last_relay >= t) return;  // relayed during this tick
+  if (state.tick_scheduled_for <= network_.sim().Now()) return;
+  const SimTime wake_at = state.tick_scheduled_for - options_.sleep_guard_ms;
+  if (wake_at <= network_.sim().Now()) return;
+  network_.SetAsleep(self, true);
+  network_.sim().ScheduleAt(wake_at, [this, self]() {
+    if (network_.IsAsleep(self)) network_.SetAsleep(self, false);
+  });
+}
+
+// -----------------------------------------------------------------------
+// Base-station side
+// -----------------------------------------------------------------------
+
+void InNetworkEngine::BsAccept(const Message& msg) {
+  if (const auto* row =
+          dynamic_cast<const SharedRowPayload*>(msg.payload.get())) {
+    const auto it = row->dest_queries.find(kBaseStationId);
+    if (it == row->dest_queries.end()) return;
+    for (const RowEntry& entry : row->entries) {
+      for (QueryId q : entry.queries) {
+        if (std::find(it->second.begin(), it->second.end(), q) ==
+            it->second.end()) {
+          continue;  // another destination is responsible for this query
+        }
+        auto bs_it = bs_queries_.find(q);
+        if (bs_it == bs_queries_.end() || bs_it->second.terminated) continue;
+        bs_it->second.rows[row->epoch_time].push_back(entry.row);
+      }
+    }
+    return;
+  }
+  if (const auto* agg =
+          dynamic_cast<const SharedAggPayload*>(msg.payload.get())) {
+    const auto it = agg->dest_queries.find(kBaseStationId);
+    if (it == agg->dest_queries.end()) return;
+    for (QueryId q : it->second) {
+      auto bs_it = bs_queries_.find(q);
+      if (bs_it == bs_queries_.end() || bs_it->second.terminated) continue;
+      const auto part_it = agg->partials.find(q);
+      if (part_it == agg->partials.end()) continue;
+      auto& buffer = bs_it->second.partials[agg->epoch_time];
+      if (buffer.empty()) {
+        buffer = part_it->second;
+      } else {
+        MergePartialVectors(buffer, part_it->second);
+      }
+    }
+  }
+}
+
+void InNetworkEngine::ScheduleEpochClose(QueryId id, SimTime epoch_time) {
+  const auto it = bs_queries_.find(id);
+  if (it == bs_queries_.end() || it->second.terminated) return;
+  network_.sim().ScheduleAt(
+      epoch_time + it->second.query.epoch(),
+      [this, id, epoch_time]() { CloseEpoch(id, epoch_time); });
+}
+
+void InNetworkEngine::CloseEpoch(QueryId id, SimTime epoch_time) {
+  auto it = bs_queries_.find(id);
+  if (it == bs_queries_.end() || it->second.terminated) return;
+  BsQueryState& state = it->second;
+
+  EpochResult result;
+  result.query = id;
+  result.epoch_time = epoch_time;
+  result.kind = state.query.kind();
+  if (state.query.kind() == QueryKind::kAcquisition) {
+    auto rows_it = state.rows.find(epoch_time);
+    if (rows_it != state.rows.end()) {
+      // Shared rows carry the union projection; narrow to this query's
+      // attribute list so the answer matches the baseline's exactly.
+      for (const Reading& row : rows_it->second) {
+        Reading projected(row.node(), row.time());
+        for (Attribute attr : state.query.attributes()) {
+          projected.Set(attr, row.GetOrThrow(attr));
+        }
+        result.rows.push_back(std::move(projected));
+      }
+      state.rows.erase(rows_it);
+    }
+    std::sort(result.rows.begin(), result.rows.end(),
+              [](const Reading& a, const Reading& b) {
+                return a.node() < b.node();
+              });
+  } else {
+    std::vector<PartialAggregate> merged;
+    auto agg_it = state.partials.find(epoch_time);
+    if (agg_it != state.partials.end()) {
+      merged = std::move(agg_it->second);
+      state.partials.erase(agg_it);
+    }
+    for (std::size_t i = 0; i < state.query.aggregates().size(); ++i) {
+      const AggregateSpec& spec = state.query.aggregates()[i];
+      if (i < merged.size()) {
+        result.aggregates.emplace_back(spec, merged[i].Finalize());
+      } else {
+        result.aggregates.emplace_back(spec,
+                                       PartialAggregate(spec).Finalize());
+      }
+    }
+  }
+  if (sink_ != nullptr) sink_->OnResult(result);
+  ScheduleEpochClose(id, epoch_time + state.query.epoch());
+}
+
+}  // namespace ttmqo

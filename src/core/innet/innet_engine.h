@@ -1,0 +1,155 @@
+// Tier 2: the in-network optimization engine (Section 3.2).
+//
+// Runs a set of network queries (user queries in in-network-only mode,
+// synthetic queries under the full two-tier scheme) with three cooperating
+// optimizations the baseline lacks:
+//
+//  * Sharing over time (3.2.1): every node's clock fires at the common
+//    epoch grid (epoch starts are divisible by the epoch duration), so all
+//    queries triggered at a tick share one sample acquisition.
+//  * Sharing over space (3.2.2): one source row message answers every
+//    acquisition query the reading satisfies; one partial-aggregate message
+//    carries all aggregation queries of a tick, identical partial vectors
+//    packed once.
+//  * Query-aware DAG routing (3.2.2): instead of the fixed link-quality
+//    tree, each message dynamically picks parents among the sender's
+//    upper-level neighbors, preferring neighbors known (via propagation
+//    piggyback and overheard result traffic) to have data for the same
+//    queries — enabling earlier aggregation and shared forwarding.  When
+//    different queries are best served by different parents, a single
+//    multicast transmission carries the per-destination split.
+//
+// Nodes with nothing to send or relay drop into sleep mode between ticks.
+// Sleeping nodes still receive addressed traffic (modelling low-power
+// listening: the sender's preamble wakes them) but do not overhear.
+#pragma once
+
+#include <limits>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/innet/payloads.h"
+#include "net/network.h"
+#include "query/engine.h"
+#include "routing/routing_tree.h"
+#include "routing/semantic_tree.h"
+#include "sensing/field_model.h"
+#include "tinydb/payloads.h"
+
+namespace ttmqo {
+
+/// Tuning and ablation knobs of the in-network tier.
+struct InNetOptions {
+  /// Slot width for depth-staggered aggregate transmissions.
+  SimDuration agg_slot_ms = 128;
+  /// Maximum per-node jitter for source transmissions (deterministic).
+  SimDuration source_jitter_ms = 64;
+  /// Ablation: query-aware DAG parent selection; when false, messages
+  /// follow the fixed routing-tree parent (but packing still applies).
+  bool query_aware_routing = true;
+  /// Ablation: multi-query packing of rows/partials; when false, one
+  /// message per query (but DAG routing still applies).
+  bool shared_messages = true;
+  /// Idle nodes sleep between ticks.
+  bool enable_sleep = true;
+  /// Wake this many ms before the next scheduled tick.
+  SimDuration sleep_guard_ms = 8;
+  /// An overheard "neighbor has data for q" fact stays fresh for this many
+  /// epochs of q.
+  int has_data_ttl_epochs = 2;
+  /// Semantic Routing Tree pruning for node-id-based queries (as in the
+  /// baseline; Section 3.2.2).
+  bool use_semantic_routing = true;
+};
+
+/// The tier-2 engine.  API mirrors `TinyDbEngine`.
+class InNetworkEngine final : public QueryEngine {
+ public:
+  InNetworkEngine(Network& network, const FieldModel& field, ResultSink* sink,
+                  InNetOptions options = {});
+
+  void SubmitQuery(const Query& query) override;
+  void TerminateQuery(QueryId id) override;
+  std::string_view name() const override { return "ttmqo-innet"; }
+
+  /// Level structure of the DAG.
+  const LevelGraph& level_graph() const { return levels_; }
+
+  /// Fallback fixed tree (used when query-aware routing is disabled and as
+  /// the last-resort parent).
+  const RoutingTree& routing_tree() const { return tree_; }
+
+ private:
+  struct NodeState {
+    std::map<QueryId, Query> active;
+    std::set<QueryId> seen_propagation;
+    std::set<QueryId> seen_abort;
+    /// Queries whose propagation this node forwarded (abort floods follow
+    /// the same prune).
+    std::set<QueryId> relayed_propagation;
+    /// neighbor -> (query -> tick the neighbor was last known to have data).
+    std::map<NodeId, std::map<QueryId, SimTime>> has_data;
+    /// Per tick: partial state per query, merged until the slot fires.
+    std::map<SimTime, std::map<QueryId, std::vector<PartialAggregate>>>
+        agg_buffer;
+    /// Per tick: own + relayed rows packed at the slot.
+    std::map<SimTime, std::vector<RowEntry>> row_buffer;
+    std::set<SimTime> slot_scheduled;
+    std::set<SimTime> slot_done;
+    /// Guard for the single pending tick event (-1 = none).
+    SimTime tick_scheduled_for = -1;
+    /// Last time this node forwarded someone else's traffic.
+    SimTime last_relay = std::numeric_limits<SimTime>::min();
+    /// Whether the node produced data at its last tick.
+    bool matched_last_tick = false;
+  };
+
+  struct BsQueryState {
+    explicit BsQueryState(Query q) : query(std::move(q)) {}
+    Query query;
+    bool terminated = false;
+    std::map<SimTime, std::vector<Reading>> rows;
+    std::map<SimTime, std::vector<PartialAggregate>> partials;
+  };
+
+  // --- node-side -------------------------------------------------------
+  void HandleMessage(NodeId self, const Message& msg, bool addressed);
+  /// SRT gates (mirror the baseline's).
+  bool ShouldInstall(NodeId self, const Query& query) const;
+  bool ShouldForwardPropagation(NodeId self, const Query& query) const;
+  void InstallQuery(NodeId self, const Query& query);
+  void RemoveQuery(NodeId self, QueryId id);
+  void ScheduleTick(NodeId self);
+  void OnTick(NodeId self, SimTime t);
+  void OnSlot(NodeId self, SimTime t);
+  /// Groups `entries` by their next-hop choice and transmits one packed
+  /// message per group.
+  void SendRows(NodeId self, SimTime t, std::vector<RowEntry> entries);
+  void SendAgg(NodeId self, SimTime t,
+               std::map<QueryId, std::vector<PartialAggregate>> partials);
+  std::map<NodeId, std::vector<QueryId>> ChooseParents(
+      NodeId self, std::vector<QueryId> queries) const;
+  void NoteHasData(NodeId self, NodeId sender,
+                   const std::vector<QueryId>& queries, SimTime when);
+  void MaybeSleep(NodeId self, SimTime t);
+  SimDuration SourceJitter(NodeId node) const;
+  SimDuration SlotOffset(NodeId node) const;
+
+  // --- base-station-side -----------------------------------------------
+  void BsAccept(const Message& msg);
+  void ScheduleEpochClose(QueryId id, SimTime epoch_time);
+  void CloseEpoch(QueryId id, SimTime epoch_time);
+
+  Network& network_;
+  const FieldModel& field_;
+  ResultSink* sink_;
+  InNetOptions options_;
+  RoutingTree tree_;
+  SemanticRoutingTree srt_;
+  LevelGraph levels_;
+  std::vector<NodeState> nodes_;
+  std::map<QueryId, BsQueryState> bs_queries_;
+};
+
+}  // namespace ttmqo

@@ -1,0 +1,70 @@
+#include "core/innet/payloads.h"
+
+#include <algorithm>
+#include <set>
+
+#include "sensing/attribute.h"
+
+namespace ttmqo {
+namespace {
+
+// Epoch tag (2) + source node id (2).
+constexpr std::size_t kSharedEnvelopeBytes = 4;
+
+// Extra header bytes per additional multicast destination (address + query
+// bitmap offset).
+constexpr std::size_t kPerExtraDestinationBytes = 2;
+
+std::size_t QueryCount(
+    const std::map<NodeId, std::vector<QueryId>>& dest_queries) {
+  std::set<QueryId> queries;
+  for (const auto& [dest, qs] : dest_queries) {
+    queries.insert(qs.begin(), qs.end());
+  }
+  return queries.size();
+}
+
+std::size_t MulticastOverhead(
+    const std::map<NodeId, std::vector<QueryId>>& dest_queries) {
+  return dest_queries.size() <= 1
+             ? 0
+             : kPerExtraDestinationBytes * (dest_queries.size() - 1);
+}
+
+}  // namespace
+
+std::size_t SharedRowBytes(const SharedRowPayload& payload) {
+  std::size_t bytes = kSharedEnvelopeBytes;
+  bytes += 2 * QueryCount(payload.dest_queries);  // query id list
+  for (const RowEntry& entry : payload.entries) {
+    bytes += 2;  // source node id
+    for (Attribute attr : kAllAttributes) {
+      if (attr == Attribute::kNodeId) continue;  // counted above
+      if (entry.row.Has(attr)) bytes += AttributeSizeBytes(attr);
+    }
+  }
+  bytes += MulticastOverhead(payload.dest_queries);
+  return bytes;
+}
+
+std::size_t SharedAggBytes(const SharedAggPayload& payload) {
+  std::size_t bytes = kSharedEnvelopeBytes;
+  bytes += 2 * payload.partials.size();  // query id list
+  // Identical partial vectors are serialized once and referenced by the
+  // other queries.
+  std::vector<const std::vector<PartialAggregate>*> unique;
+  for (const auto& [query, partials] : payload.partials) {
+    const bool seen = std::any_of(
+        unique.begin(), unique.end(),
+        [&](const auto* existing) { return *existing == partials; });
+    if (seen) continue;
+    unique.push_back(&partials);
+    for (const PartialAggregate& p : partials) {
+      bytes += p.SerializedSizeBytes();
+    }
+  }
+  bytes += MulticastOverhead(payload.dest_queries);
+  return bytes;
+}
+
+}  // namespace ttmqo

@@ -1,0 +1,71 @@
+// Shared (multi-query) radio payloads of the in-network tier.
+//
+// Tier 2 packs the traffic of several queries into single transmissions
+// (Section 3.2.2): one source row answers every acquisition query the
+// reading satisfies, and one partial-aggregate message carries the state of
+// several aggregation queries (identical partial vectors are serialized
+// once).  A multicast message carries a per-destination query split: each
+// addressed neighbor forwards only its own subset.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "net/message.h"
+#include "query/aggregate.h"
+#include "query/query.h"
+#include "sensing/reading.h"
+#include "util/ids.h"
+#include "util/time.h"
+
+namespace ttmqo {
+
+/// Query propagation with the piggybacked "sender has data" bit the DAG
+/// bootstrap relies on (Section 3.2.2, Query Propagation Phase).
+struct InNetPropagationPayload final : Payload {
+  InNetPropagationPayload(Query q, bool has_data)
+      : query(std::move(q)), sender_has_data(has_data) {}
+  Query query;
+  /// Whether the forwarding node's current reading satisfies the query.
+  bool sender_has_data;
+};
+
+/// One source reading and the acquisition queries it answers.
+struct RowEntry {
+  /// The source reading, projected to the union of the queries' attributes.
+  Reading row;
+  /// Queries whose predicates the reading satisfied at the source.
+  std::vector<QueryId> queries;
+};
+
+/// A packed batch of source rows serving several acquisition queries.
+/// Relay nodes buffer rows until their depth-staggered slot and send one
+/// message per next-hop group — the "combination of several query
+/// transmissions" of Section 1; a node's own reading and the rows it
+/// relays ride together.
+struct SharedRowPayload final : Payload {
+  SimTime epoch_time = 0;
+  /// The packed rows.
+  std::vector<RowEntry> entries;
+  /// Which queries each addressed destination is responsible for.  For a
+  /// unicast this has one entry holding every query the batch answers.
+  std::map<NodeId, std::vector<QueryId>> dest_queries;
+};
+
+/// Partial aggregation state of several queries for one epoch tick.
+struct SharedAggPayload final : Payload {
+  SimTime epoch_time = 0;
+  /// Partial state per query (vector ordered by the query's aggregate list).
+  std::map<QueryId, std::vector<PartialAggregate>> partials;
+  /// Which queries each addressed destination is responsible for.
+  std::map<NodeId, std::vector<QueryId>> dest_queries;
+};
+
+/// Serialized size of a shared row message.
+std::size_t SharedRowBytes(const SharedRowPayload& payload);
+
+/// Serialized size of a shared aggregate message; identical partial vectors
+/// are counted once (the paper's "packed" aggregation sharing).
+std::size_t SharedAggBytes(const SharedAggPayload& payload);
+
+}  // namespace ttmqo

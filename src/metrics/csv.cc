@@ -1,0 +1,29 @@
+#include "metrics/csv.h"
+
+namespace ttmqo {
+
+void WriteResultsCsv(const ResultLog& log, std::ostream& out) {
+  out << "query,epoch_ms,kind,source,field,value\n";
+  for (const EpochResult* result : log.All()) {
+    if (result->kind == QueryKind::kAcquisition) {
+      for (const Reading& row : result->rows) {
+        for (Attribute attr : kAllAttributes) {
+          const auto value = row.Get(attr);
+          if (!value.has_value() || attr == Attribute::kNodeId) continue;
+          out << result->query << ',' << result->epoch_time << ",row,"
+              << row.node() << ',' << AttributeName(attr) << ',' << *value
+              << '\n';
+        }
+      }
+    } else {
+      for (const auto& [spec, value] : result->aggregates) {
+        out << result->query << ',' << result->epoch_time << ",agg,,"
+            << spec.ToString() << ',';
+        if (value.has_value()) out << *value;
+        out << '\n';
+      }
+    }
+  }
+}
+
+}  // namespace ttmqo

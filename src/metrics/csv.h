@@ -1,0 +1,16 @@
+// CSV export of answer streams for offline analysis.
+#pragma once
+
+#include <ostream>
+
+#include "query/result.h"
+
+namespace ttmqo {
+
+/// Writes every recorded epoch result as CSV rows:
+///   acquisition: query,epoch_ms,"row",node,attr,value  (one line per value)
+///   aggregation: query,epoch_ms,"agg",op(attr),value   (empty for null)
+/// A header line is emitted first.
+void WriteResultsCsv(const ResultLog& log, std::ostream& out);
+
+}  // namespace ttmqo

@@ -1,0 +1,42 @@
+#include "metrics/energy.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ttmqo {
+
+double NodeEnergyMj(const NodeRadioStats& stats, SimDuration elapsed,
+                    const EnergyParams& params) {
+  CheckArg(elapsed > 0, "NodeEnergyMj: elapsed must be positive");
+  const double tx_ms = stats.TotalTransmitMs();
+  const double sleep_ms =
+      std::min(stats.sleep_ms, static_cast<double>(elapsed) - tx_ms);
+  const double listen_ms =
+      std::max(0.0, static_cast<double>(elapsed) - tx_ms - sleep_ms);
+  // mW * ms = uJ; divide by 1000 for mJ.
+  return (params.transmit_mw * tx_ms + params.listen_mw * listen_ms +
+          params.sleep_mw * sleep_ms) /
+         1000.0;
+}
+
+double AverageSensorEnergyMj(const RadioLedger& ledger, SimDuration elapsed,
+                             const EnergyParams& params) {
+  double total = 0.0;
+  for (NodeId n = 1; n < ledger.size(); ++n) {
+    total += NodeEnergyMj(ledger.StatsOf(n), elapsed, params);
+  }
+  return ledger.size() > 1 ? total / static_cast<double>(ledger.size() - 1)
+                           : 0.0;
+}
+
+double MaxSensorEnergyMj(const RadioLedger& ledger, SimDuration elapsed,
+                         const EnergyParams& params) {
+  double worst = 0.0;
+  for (NodeId n = 1; n < ledger.size(); ++n) {
+    worst = std::max(worst, NodeEnergyMj(ledger.StatsOf(n), elapsed, params));
+  }
+  return worst;
+}
+
+}  // namespace ttmqo

@@ -1,0 +1,48 @@
+#include "metrics/run_summary.h"
+
+#include <cstdio>
+
+namespace ttmqo {
+
+RunSummary RunSummary::FromLedger(const RadioLedger& ledger,
+                                  SimDuration elapsed) {
+  RunSummary s;
+  s.avg_transmission_fraction = ledger.AverageTransmissionTime(elapsed);
+  double sleep = 0.0;
+  for (NodeId n = 1; n < ledger.size(); ++n) {
+    sleep += ledger.StatsOf(n).sleep_ms / static_cast<double>(elapsed);
+  }
+  s.avg_sleep_fraction =
+      ledger.size() > 1 ? sleep / static_cast<double>(ledger.size() - 1) : 0.0;
+  s.total_transmit_ms = ledger.TotalTransmitMs();
+  s.elapsed_ms = elapsed;
+  s.result_messages = ledger.TotalSent(MessageClass::kResult);
+  s.propagation_messages = ledger.TotalSent(MessageClass::kQueryPropagation);
+  s.abort_messages = ledger.TotalSent(MessageClass::kQueryAbort);
+  s.maintenance_messages = ledger.TotalSent(MessageClass::kMaintenance);
+  s.retransmissions = ledger.TotalRetransmissions();
+  s.total_messages = ledger.TotalMessages();
+  return s;
+}
+
+std::string RunSummary::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "avg-tx=%.4f%% msgs=%llu (result=%llu prop=%llu abort=%llu "
+                "maint=%llu retx=%llu)",
+                avg_transmission_fraction * 100.0,
+                static_cast<unsigned long long>(total_messages),
+                static_cast<unsigned long long>(result_messages),
+                static_cast<unsigned long long>(propagation_messages),
+                static_cast<unsigned long long>(abort_messages),
+                static_cast<unsigned long long>(maintenance_messages),
+                static_cast<unsigned long long>(retransmissions));
+  return buf;
+}
+
+double SavingsPercent(double baseline, double value) {
+  if (baseline <= 0.0) return 0.0;
+  return (baseline - value) / baseline * 100.0;
+}
+
+}  // namespace ttmqo

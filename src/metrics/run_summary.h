@@ -1,0 +1,48 @@
+// Aggregated per-run measurements and comparisons.
+//
+// `RunSummary` snapshots a `RadioLedger` into the quantities the paper
+// reports: the average-transmission-time metric of Section 4.1, per-class
+// message counts, and retransmissions.  `SavingsPercent` expresses one
+// scheme's improvement over a baseline the way Figures 3 and 5 do.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/ledger.h"
+#include "util/time.h"
+
+namespace ttmqo {
+
+/// Measurements of one simulation run.
+struct RunSummary {
+  /// Mean over sensor nodes of (transmit time / elapsed), in [0, 1].
+  double avg_transmission_fraction = 0.0;
+  /// Mean over sensor nodes of (sleep time / elapsed), in [0, 1].
+  double avg_sleep_fraction = 0.0;
+  /// Total transmit milliseconds over all nodes (incl. retransmissions).
+  double total_transmit_ms = 0.0;
+  /// Simulated milliseconds the summary covers.
+  SimDuration elapsed_ms = 0;
+  /// First-attempt message counts.
+  std::uint64_t result_messages = 0;
+  std::uint64_t propagation_messages = 0;
+  std::uint64_t abort_messages = 0;
+  std::uint64_t maintenance_messages = 0;
+  /// Retransmission attempts and abandoned messages.
+  std::uint64_t retransmissions = 0;
+  std::uint64_t total_messages = 0;
+
+  /// Snapshots `ledger` over an `elapsed` window.
+  static RunSummary FromLedger(const RadioLedger& ledger,
+                               SimDuration elapsed);
+
+  /// One-line rendering for logs and benches.
+  std::string ToString() const;
+};
+
+/// Percentage by which `value` improves on `baseline` (positive = better,
+/// i.e. smaller); 0 when the baseline is 0.
+double SavingsPercent(double baseline, double value);
+
+}  // namespace ttmqo

@@ -1,0 +1,34 @@
+// Fixed-width table rendering for benchmark output.
+//
+// The figure-reproduction benches print the paper's series as aligned text
+// tables; this keeps their output diffable and easy to eyeball against the
+// published figures.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ttmqo {
+
+/// Accumulates rows of strings and prints them with aligned columns.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds one row; must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats a double with `precision` digits.
+  static std::string Num(double value, int precision = 2);
+
+  /// Writes the table (headers, separator, rows) to `out`.
+  void Print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ttmqo

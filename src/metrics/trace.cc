@@ -1,0 +1,46 @@
+#include "metrics/trace.h"
+
+namespace ttmqo {
+namespace {
+
+void WriteDestinations(std::ostream& out, const Message& msg) {
+  out << "\"dests\":[";
+  for (std::size_t i = 0; i < msg.destinations.size(); ++i) {
+    if (i > 0) out << ',';
+    out << msg.destinations[i];
+  }
+  out << ']';
+}
+
+}  // namespace
+
+void JsonlTraceWriter::OnTransmit(SimTime time, const Message& msg,
+                                  double duration_ms, bool retransmission) {
+  ++events_;
+  *out_ << "{\"event\":\"tx\",\"t\":" << time << ",\"from\":" << msg.sender
+        << ",\"class\":\"" << MessageClassName(msg.cls) << "\",\"bytes\":"
+        << msg.payload_bytes << ",\"ms\":" << duration_ms << ",\"retx\":"
+        << (retransmission ? "true" : "false") << ',';
+  WriteDestinations(*out_, msg);
+  *out_ << "}\n";
+}
+
+void JsonlTraceWriter::OnDrop(SimTime time, const Message& msg) {
+  ++events_;
+  *out_ << "{\"event\":\"drop\",\"t\":" << time << ",\"from\":" << msg.sender
+        << ",\"class\":\"" << MessageClassName(msg.cls) << "\"}\n";
+}
+
+void JsonlTraceWriter::OnSleepChange(SimTime time, NodeId node, bool asleep) {
+  ++events_;
+  *out_ << "{\"event\":\"" << (asleep ? "sleep" : "wake") << "\",\"t\":"
+        << time << ",\"node\":" << node << "}\n";
+}
+
+void JsonlTraceWriter::OnNodeFailed(SimTime time, NodeId node) {
+  ++events_;
+  *out_ << "{\"event\":\"fail\",\"t\":" << time << ",\"node\":" << node
+        << "}\n";
+}
+
+}  // namespace ttmqo

@@ -1,0 +1,56 @@
+// Radio event tracing.
+//
+// `JsonlTraceWriter` implements `NetworkObserver` and streams one JSON
+// object per radio event to an `std::ostream` — suitable for offline
+// visualization or debugging of an experiment's message flow.
+#pragma once
+
+#include <ostream>
+
+#include "net/network.h"
+
+namespace ttmqo {
+
+/// Streams radio events as JSON Lines.
+class JsonlTraceWriter final : public NetworkObserver {
+ public:
+  /// `out` must outlive the writer.  Nothing is buffered beyond the
+  /// stream's own buffering.
+  explicit JsonlTraceWriter(std::ostream& out) : out_(&out) {}
+
+  void OnTransmit(SimTime time, const Message& msg, double duration_ms,
+                  bool retransmission) override;
+  void OnDrop(SimTime time, const Message& msg) override;
+  void OnSleepChange(SimTime time, NodeId node, bool asleep) override;
+  void OnNodeFailed(SimTime time, NodeId node) override;
+
+  /// Number of events written so far.
+  std::uint64_t events() const { return events_; }
+
+ private:
+  std::ostream* out_;
+  std::uint64_t events_ = 0;
+};
+
+/// A counting observer for tests and quick statistics.
+class CountingObserver final : public NetworkObserver {
+ public:
+  void OnTransmit(SimTime, const Message&, double, bool retransmission)
+      override {
+    ++transmissions;
+    if (retransmission) ++retransmissions;
+  }
+  void OnDrop(SimTime, const Message&) override { ++drops; }
+  void OnSleepChange(SimTime, NodeId, bool asleep) override {
+    if (asleep) ++sleeps;
+  }
+  void OnNodeFailed(SimTime, NodeId) override { ++failures; }
+
+  std::uint64_t transmissions = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t sleeps = 0;
+  std::uint64_t failures = 0;
+};
+
+}  // namespace ttmqo

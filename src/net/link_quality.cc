@@ -1,0 +1,38 @@
+#include "net/link_quality.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ttmqo {
+namespace {
+
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+LinkQualityMap::LinkQualityMap(const Topology& topology, std::uint64_t seed)
+    : topology_(&topology), seed_(seed) {}
+
+double LinkQualityMap::Quality(NodeId a, NodeId b) const {
+  CheckArg(topology_->AreNeighbors(a, b),
+           "LinkQualityMap: nodes are not neighbors");
+  const NodeId lo = std::min(a, b);
+  const NodeId hi = std::max(a, b);
+  const double d = Distance(topology_->PositionOf(lo), topology_->PositionOf(hi));
+  // Base quality decays with distance: 1.0 adjacent, ~0.55 at the edge of
+  // range; a deterministic per-edge jitter of up to ±0.1 breaks symmetry.
+  const double base = 1.0 - 0.45 * (d / topology_->range_feet());
+  const std::uint64_t h =
+      Mix(seed_ ^ Mix((static_cast<std::uint64_t>(lo) << 16) | hi));
+  const double jitter =
+      (static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0) - 0.5) * 0.2;
+  return std::clamp(base + jitter, 0.05, 1.0);
+}
+
+}  // namespace ttmqo

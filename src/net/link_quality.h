@@ -1,0 +1,31 @@
+// Deterministic per-link quality estimates.
+//
+// TinyDB associates a parent with each node "based on the link quality"
+// (Section 3.2.2); our in-network tier breaks parent-selection ties the same
+// way.  Quality is a pure function of the two endpoints' distance plus a
+// symmetric per-edge perturbation, so runs are reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "net/topology.h"
+#include "util/ids.h"
+
+namespace ttmqo {
+
+/// Symmetric link quality in (0, 1]; higher is better.
+class LinkQualityMap {
+ public:
+  /// `seed` fixes the per-edge perturbation.
+  LinkQualityMap(const Topology& topology, std::uint64_t seed);
+
+  /// Quality of the link a—b (== quality of b—a).  Both nodes must be
+  /// neighbors in the topology.
+  double Quality(NodeId a, NodeId b) const;
+
+ private:
+  const Topology* topology_;
+  std::uint64_t seed_;
+};
+
+}  // namespace ttmqo

@@ -1,0 +1,22 @@
+#include "net/message.h"
+
+#include "util/check.h"
+
+namespace ttmqo {
+
+std::string_view MessageClassName(MessageClass cls) {
+  switch (cls) {
+    case MessageClass::kResult:
+      return "result";
+    case MessageClass::kQueryPropagation:
+      return "propagation";
+    case MessageClass::kQueryAbort:
+      return "abort";
+    case MessageClass::kMaintenance:
+      return "maintenance";
+  }
+  Check(false, "unknown message class");
+  return "";
+}
+
+}  // namespace ttmqo

@@ -1,0 +1,188 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ttmqo {
+
+Network::Network(const Topology& topology, RadioParams radio,
+                 ChannelParams channel, std::uint64_t seed)
+    : topology_(&topology),
+      radio_(radio),
+      channel_(channel),
+      link_quality_(topology, seed ^ 0x6c696e6bULL),
+      ledger_(topology.size()),
+      rng_(seed),
+      receivers_(topology.size()),
+      asleep_(topology.size(), false),
+      failed_(topology.size(), false),
+      sleep_since_(topology.size(), 0),
+      busy_until_(topology.size(), 0) {
+  channel_.Validate();
+}
+
+void Network::SetReceiver(NodeId node, Receiver receiver) {
+  receivers_.at(node) = std::move(receiver);
+}
+
+void Network::SetAsleep(NodeId node, bool asleep) {
+  if (failed_.at(node)) return;  // dead nodes have no power state
+  if (asleep_.at(node) == asleep) return;
+  asleep_[node] = asleep;
+  if (observer_ != nullptr) observer_->OnSleepChange(sim_.Now(), node, asleep);
+  if (asleep) {
+    sleep_since_[node] = sim_.Now();
+  } else {
+    ledger_.AddSleep(node,
+                     static_cast<double>(sim_.Now() - sleep_since_[node]));
+  }
+}
+
+bool Network::IsAsleep(NodeId node) const { return asleep_.at(node); }
+
+void Network::FailNode(NodeId node) {
+  CheckArg(node != kBaseStationId, "Network::FailNode: cannot fail the sink");
+  CheckArg(node < topology_->size(), "Network::FailNode: bad node");
+  if (failed_[node]) return;
+  failed_[node] = true;
+  ++num_failed_;
+  if (observer_ != nullptr) observer_->OnNodeFailed(sim_.Now(), node);
+}
+
+bool Network::IsFailed(NodeId node) const { return failed_.at(node); }
+
+void Network::Send(Message msg) {
+  CheckArg(msg.sender < topology_->size(), "Network::Send: bad sender");
+  if (failed_[msg.sender]) return;  // a dead radio transmits nothing
+  CheckArg(!asleep_[msg.sender], "Network::Send: sender is asleep");
+  if (msg.mode == AddressMode::kBroadcast) {
+    CheckArg(msg.destinations.empty(),
+             "Network::Send: broadcast must not list destinations");
+  } else {
+    CheckArg(!msg.destinations.empty(),
+             "Network::Send: unicast/multicast needs destinations");
+    CheckArg(msg.mode != AddressMode::kUnicast || msg.destinations.size() == 1,
+             "Network::Send: unicast takes exactly one destination");
+    for (NodeId dest : msg.destinations) {
+      CheckArg(topology_->AreNeighbors(msg.sender, dest),
+               "Network::Send: destination is not a radio neighbor");
+    }
+  }
+  BeginAttempt(std::move(msg), /*attempt=*/0);
+}
+
+void Network::BeginAttempt(Message msg, int attempt) {
+  const NodeId sender = msg.sender;
+  const SimTime start = std::max(sim_.Now(), busy_until_[sender]);
+  const double duration_ms = radio_.TransmitDurationMs(msg.payload_bytes);
+  const auto duration = static_cast<SimDuration>(std::ceil(duration_ms));
+  busy_until_[sender] = start + duration;
+
+  ledger_.ChargeTransmit(sender, msg.cls, duration_ms,
+                         /*is_retransmission=*/attempt > 0);
+  if (observer_ != nullptr) {
+    observer_->OnTransmit(start, msg, duration_ms, attempt > 0);
+  }
+  in_flight_.push_back(Flight{sender, start + duration});
+
+  sim_.ScheduleAt(start + duration, [this, msg = std::move(msg), attempt,
+                                     start]() mutable {
+    CompleteAttempt(msg, attempt, start);
+  });
+}
+
+void Network::CompleteAttempt(const Message& msg, int attempt,
+                              SimTime started) {
+  if (failed_[msg.sender]) return;  // died mid-air: nothing is delivered
+  // Retire this flight record.
+  const SimTime end = sim_.Now();
+  const auto it = std::find_if(
+      in_flight_.begin(), in_flight_.end(), [&](const Flight& f) {
+        return f.sender == msg.sender && f.end == end;
+      });
+  const std::size_t interferers = CountInterferers(msg.sender, started);
+  if (it != in_flight_.end()) in_flight_.erase(it);
+
+  bool collided = false;
+  if (channel_.collision_prob > 0.0 && interferers > 0) {
+    const double survive =
+        std::pow(1.0 - channel_.collision_prob,
+                 static_cast<double>(interferers));
+    collided = !rng_.Bernoulli(survive);
+  }
+  if (collided) {
+    if (attempt >= channel_.max_retries) {
+      ledger_.CountDrop(msg.sender);
+      if (observer_ != nullptr) observer_->OnDrop(sim_.Now(), msg);
+      return;
+    }
+    const auto backoff = static_cast<SimDuration>(
+        std::ceil(channel_.backoff_ms * static_cast<double>(attempt + 1)));
+    Message retry = msg;
+    sim_.ScheduleAfter(backoff, [this, retry = std::move(retry), attempt]() mutable {
+      BeginAttempt(std::move(retry), attempt + 1);
+    });
+    return;
+  }
+  Deliver(msg);
+}
+
+std::size_t Network::CountInterferers(NodeId sender, SimTime started) const {
+  // Transmissions overlapping [started, now] whose sender lies within twice
+  // the radio range (interference radius) of `sender`.
+  std::size_t count = 0;
+  const Position& here = topology_->PositionOf(sender);
+  for (const Flight& f : in_flight_) {
+    if (f.sender == sender) continue;
+    if (f.end <= started) continue;  // ended before we began
+    if (Distance(here, topology_->PositionOf(f.sender)) <=
+        2.0 * topology_->range_feet()) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+void Network::Deliver(const Message& msg) {
+  for (NodeId neighbor : topology_->NeighborsOf(msg.sender)) {
+    if (failed_[neighbor]) continue;
+    const Receiver& receiver = receivers_[neighbor];
+    if (!receiver) continue;
+    const bool addressed =
+        msg.mode == AddressMode::kBroadcast ||
+        std::find(msg.destinations.begin(), msg.destinations.end(),
+                  neighbor) != msg.destinations.end();
+    // Low-power listening: a sleeping radio still catches traffic addressed
+    // to it (the sender's preamble wakes it) but cannot overhear.
+    if (asleep_[neighbor] && !addressed) continue;
+    if (addressed) ledger_.CountReceive(neighbor);
+    receiver(msg, addressed);
+  }
+}
+
+void Network::StartMaintenanceBeacons(SimDuration period,
+                                      std::size_t payload_bytes) {
+  CheckArg(period > 0, "StartMaintenanceBeacons: period must be positive");
+  for (NodeId node : topology_->AllNodes()) {
+    // Stagger nodes across the period so beacons do not synchronize.
+    const SimDuration offset =
+        static_cast<SimDuration>(node) * period /
+        static_cast<SimDuration>(topology_->size());
+    auto beacon = std::make_shared<std::function<void()>>();
+    *beacon = [this, node, period, payload_bytes, beacon]() {
+      if (failed_[node]) return;  // a dead node's beacon chain ends
+      if (!asleep_[node]) {
+        Message msg;
+        msg.cls = MessageClass::kMaintenance;
+        msg.mode = AddressMode::kBroadcast;
+        msg.sender = node;
+        msg.payload_bytes = payload_bytes;
+        Send(std::move(msg));
+      }
+      sim_.ScheduleAfter(period, *beacon);
+    };
+    sim_.ScheduleAfter(offset, *beacon);
+  }
+}
+
+}  // namespace ttmqo

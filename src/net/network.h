@@ -1,0 +1,149 @@
+// The radio network: topology + channel + accounting + event loop.
+//
+// `Network` mediates every transmission.  A transmission occupies the
+// sender's radio for `C_start + C_trans * len` ms (a node's sends serialize
+// on its own radio); on completion it is delivered to the addressed
+// neighbors and overheard by every other awake neighbor — the broadcast
+// nature of the channel the in-network tier exploits (Section 3.2).  An
+// optional contention model corrupts transmissions with a probability that
+// grows with the number of concurrently in-flight interfering
+// transmissions; failed attempts are retried with linear backoff and
+// charged to the sender as retransmissions, reproducing the paper's
+// "retransmission messages due to transmission failure" accounting.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "net/ledger.h"
+#include "net/link_quality.h"
+#include "net/message.h"
+#include "net/radio.h"
+#include "net/simulator.h"
+#include "net/topology.h"
+#include "util/rng.h"
+
+namespace ttmqo {
+
+/// Observes radio-level events (tracing, visualization, debugging).  All
+/// callbacks default to no-ops; implement only what you need.
+class NetworkObserver {
+ public:
+  virtual ~NetworkObserver() = default;
+
+  /// A transmission attempt began (including retransmissions).
+  virtual void OnTransmit(SimTime /*time*/, const Message& /*msg*/,
+                          double /*duration_ms*/, bool /*retransmission*/) {}
+  /// A message was abandoned after exhausting its retries.
+  virtual void OnDrop(SimTime /*time*/, const Message& /*msg*/) {}
+  /// A node changed power state.
+  virtual void OnSleepChange(SimTime /*time*/, NodeId /*node*/,
+                             bool /*asleep*/) {}
+  /// A node crashed.
+  virtual void OnNodeFailed(SimTime /*time*/, NodeId /*node*/) {}
+};
+
+/// Owns the event loop and the radio channel for one deployment.
+class Network {
+ public:
+  /// Receives a delivered or overheard message.  `addressed` is true when
+  /// this node is an intended destination (broadcasts address everyone).
+  using Receiver =
+      std::function<void(const Message& msg, bool addressed)>;
+
+  /// `seed` drives the collision model only.
+  Network(const Topology& topology, RadioParams radio, ChannelParams channel,
+          std::uint64_t seed);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// The event loop (scheduling, Now()).
+  Simulator& sim() { return sim_; }
+  const Simulator& sim() const { return sim_; }
+
+  /// The deployment.
+  const Topology& topology() const { return *topology_; }
+
+  /// Per-link quality estimates (for parent selection / tie breaking).
+  const LinkQualityMap& link_quality() const { return link_quality_; }
+
+  /// Radio accounting.
+  RadioLedger& ledger() { return ledger_; }
+  const RadioLedger& ledger() const { return ledger_; }
+
+  /// Radio timing parameters.
+  const RadioParams& radio() const { return radio_; }
+
+  /// Installs the message handler of `node` (replacing any previous one).
+  void SetReceiver(NodeId node, Receiver receiver);
+
+  /// Marks a node asleep/awake.  Asleep nodes neither receive nor overhear;
+  /// sleep time is accounted in the ledger.  Sends from a sleeping node are
+  /// rejected.
+  void SetAsleep(NodeId node, bool asleep);
+
+  /// True when the node is currently asleep.
+  bool IsAsleep(NodeId node) const;
+
+  /// Permanently kills a node (crash fault): it stops receiving, and its
+  /// transmissions — including already queued retries — silently vanish.
+  /// Used for failure-injection experiments; the base station cannot fail.
+  void FailNode(NodeId node);
+
+  /// True when the node has been failed.  Engines may consult this when
+  /// selecting routes, modelling beacon-based neighbor failure detection.
+  bool IsFailed(NodeId node) const;
+
+  /// Number of failed nodes.
+  std::size_t NumFailed() const { return num_failed_; }
+
+  /// Queues `msg` for transmission from `msg.sender`.  Destinations must be
+  /// radio neighbors of the sender.  The transmission starts when the
+  /// sender's radio is free and is delivered (or retried) per the channel
+  /// model.
+  void Send(Message msg);
+
+  /// Starts a periodic per-node maintenance broadcast (neighbor beacons /
+  /// time sync) of `payload_bytes`, one per node per `period`, with node
+  /// index staggering.  Models the paper's "periodical network maintenance
+  /// messages".
+  void StartMaintenanceBeacons(SimDuration period, std::size_t payload_bytes);
+
+  /// Number of transmissions currently in flight (diagnostics).
+  std::size_t in_flight() const { return in_flight_.size(); }
+
+  /// Installs an event observer (nullptr to remove).  Not owned.
+  void SetObserver(NetworkObserver* observer) { observer_ = observer; }
+
+ private:
+  struct Flight {
+    NodeId sender;
+    SimTime end;
+  };
+
+  void BeginAttempt(Message msg, int attempt);
+  void CompleteAttempt(const Message& msg, int attempt, SimTime started);
+  std::size_t CountInterferers(NodeId sender, SimTime started) const;
+  void Deliver(const Message& msg);
+
+  const Topology* topology_;
+  RadioParams radio_;
+  ChannelParams channel_;
+  Simulator sim_;
+  LinkQualityMap link_quality_;
+  RadioLedger ledger_;
+  Rng rng_;
+  std::vector<Receiver> receivers_;
+  std::vector<bool> asleep_;
+  std::vector<bool> failed_;
+  std::size_t num_failed_ = 0;
+  std::vector<SimTime> sleep_since_;
+  std::vector<SimTime> busy_until_;
+  std::vector<Flight> in_flight_;
+  std::uint64_t next_flight_id_ = 0;
+  NetworkObserver* observer_ = nullptr;
+};
+
+}  // namespace ttmqo

@@ -1,0 +1,36 @@
+#include "net/simulator.h"
+
+#include <utility>
+
+namespace ttmqo {
+
+void Simulator::ScheduleAt(SimTime t, std::function<void()> fn) {
+  CheckArg(t >= now_, "Simulator::ScheduleAt: cannot schedule in the past");
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Simulator::ScheduleAfter(SimDuration delay, std::function<void()> fn) {
+  CheckArg(delay >= 0, "Simulator::ScheduleAfter: delay must be >= 0");
+  ScheduleAt(now_ + delay, std::move(fn));
+}
+
+void Simulator::RunUntil(SimTime until) {
+  CheckArg(until >= now_, "Simulator::RunUntil: until must be >= Now()");
+  while (!queue_.empty() && queue_.top().time <= until) {
+    Step();
+  }
+  now_ = until;
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) return false;
+  // Copy out before pop: the handler may schedule new events.
+  Event event = queue_.top();
+  queue_.pop();
+  now_ = event.time;
+  ++events_executed_;
+  event.fn();
+  return true;
+}
+
+}  // namespace ttmqo

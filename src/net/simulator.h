@@ -1,0 +1,66 @@
+// The discrete-event simulation core.
+//
+// A single-threaded event loop with a totally ordered queue: events fire in
+// (time, insertion-sequence) order, so equal-time events run in the order
+// they were scheduled and every run is exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/check.h"
+#include "util/time.h"
+
+namespace ttmqo {
+
+/// The event loop.  Not thread-safe (by design: determinism).
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  SimTime Now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (>= Now()).
+  void ScheduleAt(SimTime t, std::function<void()> fn);
+
+  /// Schedules `fn` `delay` ms from now (delay >= 0).
+  void ScheduleAfter(SimDuration delay, std::function<void()> fn);
+
+  /// Runs events until the queue empties or simulated time would exceed
+  /// `until`; afterwards Now() == `until` (events at exactly `until` run).
+  void RunUntil(SimTime until);
+
+  /// Runs a single event; returns false when the queue is empty.
+  bool Step();
+
+  /// Number of events executed so far.
+  std::uint64_t events_executed() const { return events_executed_; }
+
+  /// Number of events waiting.
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace ttmqo

@@ -1,0 +1,123 @@
+#include "query/aggregate.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace ttmqo {
+
+std::string_view AggregateOpName(AggregateOp op) {
+  switch (op) {
+    case AggregateOp::kMax:
+      return "MAX";
+    case AggregateOp::kMin:
+      return "MIN";
+    case AggregateOp::kSum:
+      return "SUM";
+    case AggregateOp::kAvg:
+      return "AVG";
+    case AggregateOp::kCount:
+      return "COUNT";
+    case AggregateOp::kVar:
+      return "VAR";
+  }
+  Check(false, "unknown aggregate op");
+  return "";
+}
+
+std::optional<AggregateOp> ParseAggregateOp(std::string_view name) {
+  std::string upper(name);
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  for (AggregateOp op : {AggregateOp::kMax, AggregateOp::kMin,
+                         AggregateOp::kSum, AggregateOp::kAvg,
+                         AggregateOp::kCount, AggregateOp::kVar}) {
+    if (upper == AggregateOpName(op)) return op;
+  }
+  return std::nullopt;
+}
+
+std::string AggregateSpec::ToString() const {
+  std::ostringstream out;
+  out << AggregateOpName(op) << "(" << AttributeName(attribute) << ")";
+  return out.str();
+}
+
+PartialAggregate::PartialAggregate(AggregateSpec spec) : spec_(spec) {}
+
+PartialAggregate PartialAggregate::OfValue(AggregateSpec spec, double value) {
+  PartialAggregate record(spec);
+  record.Accumulate(value);
+  return record;
+}
+
+void PartialAggregate::Accumulate(double value) {
+  switch (spec_.op) {
+    case AggregateOp::kMax:
+      acc_ = count_ == 0 ? value : std::max(acc_, value);
+      break;
+    case AggregateOp::kMin:
+      acc_ = count_ == 0 ? value : std::min(acc_, value);
+      break;
+    case AggregateOp::kSum:
+    case AggregateOp::kAvg:
+      acc_ += value;
+      break;
+    case AggregateOp::kVar:
+      acc_ += value;
+      acc_sq_ += value * value;
+      break;
+    case AggregateOp::kCount:
+      break;
+  }
+  ++count_;
+}
+
+void PartialAggregate::Merge(const PartialAggregate& other) {
+  Check(spec_ == other.spec_, "PartialAggregate::Merge: spec mismatch");
+  if (other.count_ == 0) return;
+  switch (spec_.op) {
+    case AggregateOp::kMax:
+      acc_ = count_ == 0 ? other.acc_ : std::max(acc_, other.acc_);
+      break;
+    case AggregateOp::kMin:
+      acc_ = count_ == 0 ? other.acc_ : std::min(acc_, other.acc_);
+      break;
+    case AggregateOp::kSum:
+    case AggregateOp::kAvg:
+      acc_ += other.acc_;
+      break;
+    case AggregateOp::kVar:
+      acc_ += other.acc_;
+      acc_sq_ += other.acc_sq_;
+      break;
+    case AggregateOp::kCount:
+      break;
+  }
+  count_ += other.count_;
+}
+
+std::optional<double> PartialAggregate::Finalize() const {
+  if (spec_.op == AggregateOp::kCount) return static_cast<double>(count_);
+  if (count_ == 0) return std::nullopt;
+  if (spec_.op == AggregateOp::kAvg)
+    return acc_ / static_cast<double>(count_);
+  if (spec_.op == AggregateOp::kVar) {
+    const double n = static_cast<double>(count_);
+    const double mean = acc_ / n;
+    // Population variance; clamp tiny negative rounding residue.
+    return std::max(0.0, acc_sq_ / n - mean * mean);
+  }
+  return acc_;
+}
+
+std::size_t PartialAggregate::SerializedSizeBytes() const {
+  // 16-bit value fields, as in TinyDB partial state records; AVG carries a
+  // sum and a count, VAR additionally a sum of squares.
+  if (spec_.op == AggregateOp::kVar) return 6;
+  return spec_.op == AggregateOp::kAvg ? 4 : 2;
+}
+
+}  // namespace ttmqo

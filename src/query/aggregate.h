@@ -1,0 +1,83 @@
+// Aggregation operators and TAG-style partial aggregation state.
+//
+// Aggregation queries carry a list of `(operator, attribute)` pairs (Section
+// 3.1.1).  In-network aggregation merges *partial state records* at interior
+// routing nodes (Madden et al., TAG); `PartialAggregate` is that record:
+// MAX/MIN carry the extremum, SUM/COUNT carry running totals, and AVG carries
+// (sum, count) so merging stays exact.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sensing/attribute.h"
+
+namespace ttmqo {
+
+/// An aggregation operator supported by the query language.  VAR is the
+/// population variance, merged exactly via (sum, sum-of-squares, count)
+/// partial state as in TAG's decomposable-aggregate framework.
+enum class AggregateOp : std::uint8_t { kMax, kMin, kSum, kAvg, kCount, kVar };
+
+/// Upper-case SQL name of the operator ("MAX", ...).
+std::string_view AggregateOpName(AggregateOp op);
+
+/// Parses an operator name (case-insensitive); nullopt when unknown.
+std::optional<AggregateOp> ParseAggregateOp(std::string_view name);
+
+/// One aggregate requested by a query, e.g. `MAX(light)`.
+struct AggregateSpec {
+  AggregateOp op = AggregateOp::kMax;
+  Attribute attribute = Attribute::kLight;
+
+  /// "MAX(light)".
+  std::string ToString() const;
+
+  bool operator==(const AggregateSpec&) const = default;
+  auto operator<=>(const AggregateSpec&) const = default;
+};
+
+/// A mergeable partial state record for one aggregate.  The empty record
+/// (count 0) is the identity of `Merge`.
+class PartialAggregate {
+ public:
+  /// The identity element for `spec`.
+  explicit PartialAggregate(AggregateSpec spec);
+
+  /// The record for a single observed value.
+  static PartialAggregate OfValue(AggregateSpec spec, double value);
+
+  /// Folds one observed value into the record.
+  void Accumulate(double value);
+
+  /// Merges another partial record (must be for the same spec).
+  void Merge(const PartialAggregate& other);
+
+  /// Final aggregate value; nullopt when no value contributed and the
+  /// operator has no empty-set answer (MAX/MIN/SUM/AVG).  COUNT of an empty
+  /// set is 0.
+  std::optional<double> Finalize() const;
+
+  /// The aggregate this record computes.
+  const AggregateSpec& spec() const { return spec_; }
+
+  /// Number of readings folded in so far.
+  std::int64_t count() const { return count_; }
+
+  /// Payload bytes this record occupies in a radio message: MAX/MIN/SUM/
+  /// COUNT need one field, AVG needs (sum, count).
+  std::size_t SerializedSizeBytes() const;
+
+  bool operator==(const PartialAggregate&) const = default;
+
+ private:
+  AggregateSpec spec_;
+  double acc_ = 0.0;       // extremum or running sum
+  double acc_sq_ = 0.0;    // running sum of squares (VAR only)
+  std::int64_t count_ = 0; // readings folded in
+};
+
+}  // namespace ttmqo

@@ -1,0 +1,17 @@
+#include "query/engine.h"
+
+namespace ttmqo {
+
+std::size_t PropagationPayloadBytes(const Query& query) {
+  // id (2) + kind/flags (1) + epoch duration in base ticks (2).
+  std::size_t bytes = 5;
+  // Projection: one byte per attribute; aggregates: op + attribute.
+  bytes += 1 + (query.kind() == QueryKind::kAcquisition
+                    ? query.attributes().size()
+                    : 2 * query.aggregates().size());
+  // Predicates: attribute (1) + min (2) + max (2) each.
+  bytes += 1 + 5 * query.predicates().AsList().size();
+  return bytes;
+}
+
+}  // namespace ttmqo

@@ -1,0 +1,310 @@
+#include "query/parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+#include <vector>
+
+namespace ttmqo {
+namespace {
+
+enum class TokenKind { kIdent, kNumber, kSymbol, kEnd };
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;    // identifier (upper-cased) or symbol
+  double number = 0.0; // valid for kNumber
+  std::size_t offset = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) { Advance(); }
+
+  const Token& Peek() const { return current_; }
+
+  Token Next() {
+    Token t = current_;
+    Advance();
+    return t;
+  }
+
+ private:
+  void Advance() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+    current_ = Token{};
+    current_.offset = pos_;
+    if (pos_ >= input_.size()) {
+      current_.kind = TokenKind::kEnd;
+      return;
+    }
+    const char c = input_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < input_.size() &&
+             (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+              input_[pos_] == '_')) {
+        ++pos_;
+      }
+      current_.kind = TokenKind::kIdent;
+      current_.text = std::string(input_.substr(start, pos_ - start));
+      std::transform(current_.text.begin(), current_.text.end(),
+                     current_.text.begin(),
+                     [](unsigned char ch) { return std::toupper(ch); });
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+        ((c == '-' || c == '+') && pos_ + 1 < input_.size() &&
+         std::isdigit(static_cast<unsigned char>(input_[pos_ + 1])))) {
+      std::size_t start = pos_;
+      if (c == '-' || c == '+') ++pos_;
+      while (pos_ < input_.size() &&
+             (std::isdigit(static_cast<unsigned char>(input_[pos_])) ||
+              input_[pos_] == '.')) {
+        ++pos_;
+      }
+      current_.kind = TokenKind::kNumber;
+      current_.text = std::string(input_.substr(start, pos_ - start));
+      try {
+        current_.number = std::stod(current_.text);
+      } catch (const std::exception&) {
+        throw ParseError("malformed number '" + current_.text + "' at offset " +
+                         std::to_string(start));
+      }
+      return;
+    }
+    // Symbols: <= >= < > = , ( ) *
+    if ((c == '<' || c == '>') && pos_ + 1 < input_.size() &&
+        input_[pos_ + 1] == '=') {
+      current_.kind = TokenKind::kSymbol;
+      current_.text = std::string(input_.substr(pos_, 2));
+      pos_ += 2;
+      return;
+    }
+    if (c == '<' || c == '>' || c == '=' || c == ',' || c == '(' ||
+        c == ')' || c == '*') {
+      current_.kind = TokenKind::kSymbol;
+      current_.text = std::string(1, c);
+      ++pos_;
+      return;
+    }
+    throw ParseError(std::string("unexpected character '") + c +
+                     "' at offset " + std::to_string(pos_));
+  }
+
+  std::string_view input_;
+  std::size_t pos_ = 0;
+  Token current_;
+};
+
+class Parser {
+ public:
+  Parser(QueryId id, std::string_view sql) : id_(id), lexer_(sql) {}
+
+  Query Parse() {
+    ExpectKeyword("SELECT");
+    ParseSelectList();
+    if (PeekKeyword("FROM")) {
+      lexer_.Next();
+      const Token table = ExpectIdent("table name");
+      if (table.text != "SENSORS") {
+        throw ParseError("unknown table '" + table.text +
+                         "'; only 'sensors' is supported");
+      }
+    }
+    PredicateSet predicates;
+    if (PeekKeyword("WHERE")) {
+      lexer_.Next();
+      predicates = ParseConjunction();
+    }
+    ExpectKeyword("EPOCH");
+    ExpectKeyword("DURATION");
+    const Token epoch_tok = Expect(TokenKind::kNumber, "epoch duration (ms)");
+    SimDuration lifetime = 0;
+    if (PeekKeyword("FOR")) {
+      lexer_.Next();
+      const Token life_tok = Expect(TokenKind::kNumber, "lifetime (ms)");
+      lifetime = static_cast<SimDuration>(life_tok.number);
+      if (static_cast<double>(lifetime) != life_tok.number || lifetime <= 0) {
+        throw ParseError("FOR expects a positive integral lifetime, got '" +
+                         life_tok.text + "'");
+      }
+    }
+    if (lexer_.Peek().kind != TokenKind::kEnd) {
+      throw ParseError("trailing input after the query at offset " +
+                       std::to_string(lexer_.Peek().offset));
+    }
+    const auto epoch = static_cast<SimDuration>(epoch_tok.number);
+    if (static_cast<double>(epoch) != epoch_tok.number ||
+        !IsValidEpochDuration(epoch)) {
+      throw ParseError("epoch duration must be a positive multiple of " +
+                       std::to_string(kMinEpochDurationMs) + " ms, got '" +
+                       epoch_tok.text + "'");
+    }
+    if (lifetime > 0 && lifetime < epoch) {
+      throw ParseError("FOR lifetime must cover at least one epoch");
+    }
+    if (!attributes_.empty() && !aggregates_.empty()) {
+      throw ParseError(
+          "a query may project either raw attributes or aggregates, not both");
+    }
+    Query query =
+        !aggregates_.empty()
+            ? Query::Aggregation(id_, std::move(aggregates_),
+                                 std::move(predicates), epoch)
+            : Query::Acquisition(id_, std::move(attributes_),
+                                 std::move(predicates), epoch);
+    return lifetime > 0 ? query.WithLifetime(lifetime) : query;
+  }
+
+ private:
+  void ParseSelectList() {
+    if (PeekSymbol("*")) {
+      lexer_.Next();
+      attributes_.assign(kSensedAttributes.begin(), kSensedAttributes.end());
+      attributes_.push_back(Attribute::kNodeId);
+      return;
+    }
+    while (true) {
+      ParseSelectItem();
+      if (!PeekSymbol(",")) break;
+      lexer_.Next();
+    }
+  }
+
+  void ParseSelectItem() {
+    const Token ident = ExpectIdent("attribute or aggregate");
+    if (PeekSymbol("(")) {
+      const std::optional<AggregateOp> op = ParseAggregateOp(ident.text);
+      if (!op.has_value()) {
+        throw ParseError("unknown aggregate '" + ident.text + "' at offset " +
+                         std::to_string(ident.offset));
+      }
+      lexer_.Next();  // '('
+      const Token attr_tok = ExpectIdent("attribute");
+      ExpectSymbol(")");
+      aggregates_.push_back(
+          AggregateSpec{*op, RequireAttribute(attr_tok)});
+      return;
+    }
+    attributes_.push_back(RequireAttribute(ident));
+  }
+
+  PredicateSet ParseConjunction() {
+    PredicateSet predicates;
+    while (true) {
+      ParseComparison(predicates);
+      if (!PeekKeyword("AND")) break;
+      lexer_.Next();
+    }
+    return predicates;
+  }
+
+  void ParseComparison(PredicateSet& predicates) {
+    const Token lhs = lexer_.Next();
+    if (lhs.kind == TokenKind::kIdent) {
+      const Attribute attr = RequireAttribute(lhs);
+      if (PeekKeyword("BETWEEN")) {
+        lexer_.Next();
+        const Token lo = Expect(TokenKind::kNumber, "lower bound");
+        ExpectKeyword("AND");
+        const Token hi = Expect(TokenKind::kNumber, "upper bound");
+        predicates.Constrain(attr, Interval(lo.number, hi.number));
+        return;
+      }
+      const Token op = Expect(TokenKind::kSymbol, "comparison operator");
+      const Token rhs = Expect(TokenKind::kNumber, "constant");
+      predicates.Constrain(attr, RangeFor(op.text, rhs.number, attr,
+                                          /*attr_on_left=*/true));
+      return;
+    }
+    if (lhs.kind == TokenKind::kNumber) {
+      const Token op = Expect(TokenKind::kSymbol, "comparison operator");
+      const Token rhs = ExpectIdent("attribute");
+      const Attribute attr = RequireAttribute(rhs);
+      predicates.Constrain(attr, RangeFor(op.text, lhs.number, attr,
+                                          /*attr_on_left=*/false));
+      return;
+    }
+    throw ParseError("expected a comparison at offset " +
+                     std::to_string(lhs.offset));
+  }
+
+  // The interval implied by `attr op value` (or `value op attr` when
+  // attr_on_left is false).  Strict and non-strict operators are treated
+  // identically over the continuous domains.
+  Interval RangeFor(const std::string& op, double value, Attribute attr,
+                    bool attr_on_left) {
+    const Interval full = AttributeRange(attr);
+    const bool less = (op == "<" || op == "<=");
+    const bool greater = (op == ">" || op == ">=");
+    if (op == "=") return Interval(value, value);
+    if (!less && !greater) {
+      throw ParseError("unknown comparison operator '" + op + "'");
+    }
+    const bool upper_bound = attr_on_left ? less : greater;
+    return upper_bound ? Interval(full.lo(), value)
+                       : Interval(value, full.hi());
+  }
+
+  Attribute RequireAttribute(const Token& tok) {
+    const std::optional<Attribute> attr = ParseAttribute(tok.text);
+    if (!attr.has_value()) {
+      throw ParseError("unknown attribute '" + tok.text + "' at offset " +
+                       std::to_string(tok.offset));
+    }
+    return *attr;
+  }
+
+  bool PeekKeyword(std::string_view kw) const {
+    return lexer_.Peek().kind == TokenKind::kIdent && lexer_.Peek().text == kw;
+  }
+
+  bool PeekSymbol(std::string_view s) const {
+    return lexer_.Peek().kind == TokenKind::kSymbol && lexer_.Peek().text == s;
+  }
+
+  void ExpectKeyword(std::string_view kw) {
+    if (!PeekKeyword(kw)) {
+      throw ParseError("expected keyword '" + std::string(kw) +
+                       "' at offset " + std::to_string(lexer_.Peek().offset));
+    }
+    lexer_.Next();
+  }
+
+  void ExpectSymbol(std::string_view s) {
+    if (!PeekSymbol(s)) {
+      throw ParseError("expected '" + std::string(s) + "' at offset " +
+                       std::to_string(lexer_.Peek().offset));
+    }
+    lexer_.Next();
+  }
+
+  Token Expect(TokenKind kind, std::string_view what) {
+    if (lexer_.Peek().kind != kind) {
+      throw ParseError("expected " + std::string(what) + " at offset " +
+                       std::to_string(lexer_.Peek().offset));
+    }
+    return lexer_.Next();
+  }
+
+  Token ExpectIdent(std::string_view what) {
+    return Expect(TokenKind::kIdent, what);
+  }
+
+  QueryId id_;
+  Lexer lexer_;
+  std::vector<Attribute> attributes_;
+  std::vector<AggregateSpec> aggregates_;
+};
+
+}  // namespace
+
+Query ParseQuery(QueryId id, std::string_view sql) {
+  return Parser(id, sql).Parse();
+}
+
+}  // namespace ttmqo

@@ -1,0 +1,38 @@
+// Parser for the TinyDB SQL dialect.
+//
+// Grammar (case-insensitive keywords):
+//
+//   query      := SELECT select_list [FROM sensors] [WHERE conjunction]
+//                 EPOCH DURATION <int-ms>
+//   select_list:= '*' | item (',' item)*
+//   item       := attribute | AGG '(' attribute ')'
+//   conjunction:= comparison (AND comparison)*
+//   comparison := attribute op number | number op attribute
+//               | attribute BETWEEN number AND number
+//   op         := '<' | '<=' | '>' | '>=' | '='
+//
+// `SELECT *` projects every sensed attribute.  Mixing raw attributes and
+// aggregates in one query is rejected, as in the paper's query model.  Over
+// the continuous sensor domains the strict and non-strict comparison
+// operators are treated identically (ranges are closed intervals).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "query/query.h"
+
+namespace ttmqo {
+
+/// Raised on malformed query text; the message pinpoints the offending
+/// token.
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parses `sql` into a query with identifier `id`.  Throws `ParseError`.
+Query ParseQuery(QueryId id, std::string_view sql);
+
+}  // namespace ttmqo

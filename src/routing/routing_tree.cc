@@ -1,0 +1,85 @@
+#include "routing/routing_tree.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ttmqo {
+
+RoutingTree::RoutingTree(const Topology& topology,
+                         const LinkQualityMap& quality) {
+  const std::size_t n = topology.size();
+  parent_.resize(n);
+  children_.resize(n);
+  depth_.resize(n);
+  parent_[kBaseStationId] = kBaseStationId;
+  depth_[kBaseStationId] = 0;
+
+  const auto& levels = topology.HopLevels();
+  for (NodeId node = 1; node < n; ++node) {
+    NodeId best = node;  // sentinel: no candidate yet
+    double best_quality = -1.0;
+    for (NodeId neighbor : topology.NeighborsOf(node)) {
+      if (levels[neighbor] + 1 != levels[node]) continue;
+      const double q = quality.Quality(node, neighbor);
+      if (q > best_quality) {
+        best_quality = q;
+        best = neighbor;
+      }
+    }
+    Check(best != node, "RoutingTree: node has no upper-level neighbor");
+    parent_[node] = best;
+    depth_[node] = levels[node];
+    children_[best].push_back(node);
+  }
+
+  bottom_up_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) bottom_up_[i] = static_cast<NodeId>(i);
+  std::sort(bottom_up_.begin(), bottom_up_.end(), [&](NodeId a, NodeId b) {
+    if (depth_[a] != depth_[b]) return depth_[a] > depth_[b];
+    return a < b;
+  });
+}
+
+NodeId RoutingTree::ParentOf(NodeId node) const { return parent_.at(node); }
+
+const std::vector<NodeId>& RoutingTree::ChildrenOf(NodeId node) const {
+  return children_.at(node);
+}
+
+std::size_t RoutingTree::DepthOf(NodeId node) const { return depth_.at(node); }
+
+double RoutingTree::AverageDepth() const {
+  if (depth_.size() <= 1) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 1; i < depth_.size(); ++i) {
+    sum += static_cast<double>(depth_[i]);
+  }
+  return sum / static_cast<double>(depth_.size() - 1);
+}
+
+LevelGraph::LevelGraph(const Topology& topology) {
+  const std::size_t n = topology.size();
+  upper_.resize(n);
+  lower_.resize(n);
+  levels_ = topology.HopLevels();
+  for (NodeId node = 0; node < n; ++node) {
+    for (NodeId neighbor : topology.NeighborsOf(node)) {
+      if (levels_[neighbor] + 1 == levels_[node]) {
+        upper_[node].push_back(neighbor);
+      } else if (levels_[neighbor] == levels_[node] + 1) {
+        lower_[node].push_back(neighbor);
+      }
+    }
+  }
+}
+
+const std::vector<NodeId>& LevelGraph::UpperNeighbors(NodeId node) const {
+  return upper_.at(node);
+}
+
+const std::vector<NodeId>& LevelGraph::LowerNeighbors(NodeId node) const {
+  return lower_.at(node);
+}
+
+}  // namespace ttmqo

@@ -1,0 +1,74 @@
+// TinyDB's fixed collection tree.
+//
+// TinyDB associates one parent with each node based on link quality,
+// yielding a fixed routing tree rooted at the base station that is ignorant
+// of the query space (Section 3.2.2).  Our baseline engine forwards every
+// result along this tree; the paper's Eq. 2 sums result counts weighted by
+// tree depth.
+#pragma once
+
+#include <vector>
+
+#include "net/link_quality.h"
+#include "net/topology.h"
+#include "util/ids.h"
+
+namespace ttmqo {
+
+/// The fixed link-quality routing tree.
+class RoutingTree {
+ public:
+  /// Builds the tree: every non-root node picks, among its neighbors one
+  /// hop level closer to the base station, the one with the best link
+  /// quality (node id breaks exact ties).
+  RoutingTree(const Topology& topology, const LinkQualityMap& quality);
+
+  /// Parent of `node`; the base station has no parent (returns itself).
+  NodeId ParentOf(NodeId node) const;
+
+  /// Children of `node`, ascending by id.
+  const std::vector<NodeId>& ChildrenOf(NodeId node) const;
+
+  /// Depth of `node` in the tree (base station = 0).  Equals the hop level
+  /// because parents are always one level closer.
+  std::size_t DepthOf(NodeId node) const;
+
+  /// Mean depth over all sensor nodes (the `d` of the paper's worked
+  /// example, Section 3.1.3), excluding the base station.
+  double AverageDepth() const;
+
+  /// Nodes in descending depth order (leaves first); a valid schedule for
+  /// bottom-up aggregation sweeps.
+  const std::vector<NodeId>& BottomUpOrder() const { return bottom_up_; }
+
+ private:
+  std::vector<NodeId> parent_;
+  std::vector<std::vector<NodeId>> children_;
+  std::vector<std::size_t> depth_;
+  std::vector<NodeId> bottom_up_;
+};
+
+/// The level graph used by the in-network tier's DAG (Section 3.2.2): for
+/// every node, its neighbors one hop level *closer* to the base station
+/// (candidate parents) and one level *farther* (candidate children).  The
+/// DAG has an edge from each node to every upper-level neighbor.
+class LevelGraph {
+ public:
+  explicit LevelGraph(const Topology& topology);
+
+  /// Neighbors of `node` at level(node) - 1, ascending by id.
+  const std::vector<NodeId>& UpperNeighbors(NodeId node) const;
+
+  /// Neighbors of `node` at level(node) + 1, ascending by id.
+  const std::vector<NodeId>& LowerNeighbors(NodeId node) const;
+
+  /// Hop level of a node.
+  std::size_t LevelOf(NodeId node) const { return levels_[node]; }
+
+ private:
+  std::vector<std::vector<NodeId>> upper_;
+  std::vector<std::vector<NodeId>> lower_;
+  std::vector<std::size_t> levels_;
+};
+
+}  // namespace ttmqo

@@ -1,0 +1,71 @@
+#include "sensing/attribute.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/check.h"
+
+namespace ttmqo {
+
+std::string_view AttributeName(Attribute attr) {
+  switch (attr) {
+    case Attribute::kNodeId:
+      return "nodeid";
+    case Attribute::kLight:
+      return "light";
+    case Attribute::kTemp:
+      return "temp";
+    case Attribute::kHumidity:
+      return "humidity";
+    case Attribute::kVoltage:
+      return "voltage";
+    case Attribute::kX:
+      return "xpos";
+    case Attribute::kY:
+      return "ypos";
+  }
+  Check(false, "unknown attribute");
+  return "";
+}
+
+std::optional<Attribute> ParseAttribute(std::string_view name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  for (Attribute attr : kAllAttributes) {
+    if (lower == AttributeName(attr)) return attr;
+  }
+  return std::nullopt;
+}
+
+Interval AttributeRange(Attribute attr) {
+  switch (attr) {
+    case Attribute::kNodeId:
+      return Interval(0, 65535);
+    case Attribute::kLight:
+      // Mica2 photoresistor readings; the paper's example predicates (e.g.
+      // 100 < light < 600) live inside this range.
+      return Interval(0, 1000);
+    case Attribute::kTemp:
+      return Interval(0, 100);
+    case Attribute::kHumidity:
+      return Interval(0, 100);
+    case Attribute::kVoltage:
+      return Interval(0, 5);
+    case Attribute::kX:
+    case Attribute::kY:
+      // Deployment plane extent in feet; supports grids up to 17x17 at the
+      // paper's 20 ft spacing.
+      return Interval(0, 320);
+  }
+  Check(false, "unknown attribute");
+  return Interval();
+}
+
+std::size_t AttributeSizeBytes(Attribute attr) {
+  // All readings are 16-bit ADC samples; nodeid is a 16-bit address.
+  (void)attr;
+  return 2;
+}
+
+}  // namespace ttmqo

@@ -1,0 +1,74 @@
+// The sensor attribute catalog.
+//
+// TinyDB exposes each mote's sensors as columns of a virtual table
+// `sensors`; queries project attributes and filter on range predicates.
+// The paper's experiments use `nodeid`, `light` and `temp` (Section 4.3);
+// we additionally model `humidity` and `voltage` for richer workloads.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/interval.h"
+
+namespace ttmqo {
+
+/// A sensor attribute (column of the virtual `sensors` table).
+/// `nodeid`, `xpos` and `ypos` are *constant* attributes — known at
+/// deployment time — so predicates over them describe node-id-based and
+/// region-based queries, which the Semantic Routing Tree can prune
+/// (Section 3.2.2).
+enum class Attribute : std::uint8_t {
+  kNodeId = 0,
+  kLight = 1,
+  kTemp = 2,
+  kHumidity = 3,
+  kVoltage = 4,
+  kX = 5,
+  kY = 6,
+};
+
+/// Number of distinct attributes in the catalog.
+inline constexpr std::size_t kNumAttributes = 7;
+
+/// All attributes, in enum order.
+inline constexpr std::array<Attribute, kNumAttributes> kAllAttributes = {
+    Attribute::kNodeId, Attribute::kLight, Attribute::kTemp,
+    Attribute::kHumidity, Attribute::kVoltage, Attribute::kX, Attribute::kY};
+
+/// The attributes a query may sense (everything except the constant
+/// columns, which cost nothing to acquire).
+inline constexpr std::array<Attribute, 4> kSensedAttributes = {
+    Attribute::kLight, Attribute::kTemp, Attribute::kHumidity,
+    Attribute::kVoltage};
+
+/// True for deployment-time-constant columns (`nodeid`, `xpos`, `ypos`).
+constexpr bool IsConstantAttribute(Attribute attr) {
+  return attr == Attribute::kNodeId || attr == Attribute::kX ||
+         attr == Attribute::kY;
+}
+
+/// Lower-case SQL name of an attribute ("light", "temp", ...).
+std::string_view AttributeName(Attribute attr);
+
+/// Parses an attribute name (case-insensitive); nullopt when unknown.
+std::optional<Attribute> ParseAttribute(std::string_view name);
+
+/// The physical value range of an attribute.  Selectivity estimation under
+/// the uniform assumption divides predicate width by this range's length
+/// (the `L` in the paper's worked example, Section 3.1.3).
+Interval AttributeRange(Attribute attr);
+
+/// Payload bytes one attribute value occupies in a result message.  TinyDB
+/// readings are 16-bit ADC values.
+std::size_t AttributeSizeBytes(Attribute attr);
+
+/// Stable index of an attribute for array-based lookups.
+constexpr std::size_t AttributeIndex(Attribute attr) {
+  return static_cast<std::size_t>(attr);
+}
+
+}  // namespace ttmqo

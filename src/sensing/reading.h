@@ -1,0 +1,51 @@
+// A sensor reading: one node's attribute values at one sample instant.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+
+#include "sensing/attribute.h"
+#include "util/ids.h"
+#include "util/time.h"
+
+namespace ttmqo {
+
+/// The values a node observed when it sampled its sensors.  A reading always
+/// carries the node id; sensed attributes are present only if sampled.
+class Reading {
+ public:
+  Reading() = default;
+
+  /// Creates a reading for `node` at `time` with `nodeid` pre-populated.
+  Reading(NodeId node, SimTime time);
+
+  /// The node that produced the reading.
+  NodeId node() const { return node_; }
+
+  /// The sample instant.
+  SimTime time() const { return time_; }
+
+  /// Stores an attribute value (overwrites any previous value).
+  void Set(Attribute attr, double value);
+
+  /// The value of `attr`, or nullopt when it was not sampled.
+  std::optional<double> Get(Attribute attr) const;
+
+  /// The value of `attr`; throws when absent.
+  double GetOrThrow(Attribute attr) const;
+
+  /// True when `attr` was sampled.
+  bool Has(Attribute attr) const;
+
+  /// Human-readable rendering for logs.
+  std::string ToString() const;
+
+ private:
+  NodeId node_ = 0;
+  SimTime time_ = 0;
+  std::array<double, kNumAttributes> values_{};
+  std::array<bool, kNumAttributes> present_{};
+};
+
+}  // namespace ttmqo

@@ -1,0 +1,52 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ttmqo {
+
+Histogram::Histogram(Interval domain, std::size_t bins) : domain_(domain) {
+  CheckArg(!domain.empty() && domain.Length() > 0,
+           "Histogram: domain must be non-empty with positive length");
+  CheckArg(bins > 0, "Histogram: bins must be positive");
+  counts_.assign(bins, 0.0);
+}
+
+void Histogram::Add(double value) { AddDecayed(value, 1.0); }
+
+void Histogram::AddDecayed(double value, double decay) {
+  CheckArg(decay >= 0.0 && decay <= 1.0, "Histogram: decay must be in [0,1]");
+  if (decay < 1.0) {
+    for (double& c : counts_) c *= decay;
+    total_ *= decay;
+  }
+  const double width = domain_.Length() / static_cast<double>(counts_.size());
+  const double clamped = std::clamp(value, domain_.lo(), domain_.hi());
+  auto bin = static_cast<std::size_t>((clamped - domain_.lo()) / width);
+  bin = std::min(bin, counts_.size() - 1);
+  counts_[bin] += 1.0;
+  total_ += 1.0;
+}
+
+double Histogram::SelectivityOf(const Interval& range) const {
+  const Interval overlap = domain_.Intersect(range);
+  if (overlap.empty()) return 0.0;
+  if (total_ <= 0.0) {
+    // Uniform prior over the domain.
+    return overlap.Length() / domain_.Length();
+  }
+  const double width = domain_.Length() / static_cast<double>(counts_.size());
+  double mass = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] <= 0.0) continue;
+    const double lo = domain_.lo() + static_cast<double>(i) * width;
+    const Interval bucket(lo, lo + width);
+    // Within-bucket uniform share of the queried range.
+    mass += counts_[i] * bucket.OverlapFraction(overlap);
+  }
+  return mass / total_;
+}
+
+}  // namespace ttmqo

@@ -1,0 +1,53 @@
+// Equi-width histograms for selectivity estimation.
+//
+// The base-station cost model needs `sel(q, N_k)` — the fraction of nodes at
+// routing level k whose readings satisfy a query's predicates (Eq. 1).  The
+// paper maintains per-level data distributions, falling back to a single
+// distribution for all levels in its experiments (Section 3.1.2,
+// "Statistics").  A histogram with no observations assumes a uniform
+// distribution over the attribute's physical range, matching the paper's
+// uniform-readings analysis.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/interval.h"
+
+namespace ttmqo {
+
+/// An equi-width histogram over a closed domain.
+class Histogram {
+ public:
+  /// Creates a histogram with `bins` equal-width buckets over `domain`.
+  Histogram(Interval domain, std::size_t bins);
+
+  /// Records one observation (values outside the domain are clamped into
+  /// the boundary buckets).
+  void Add(double value);
+
+  /// Records an observation with decayed weight: existing mass is scaled by
+  /// `decay` in [0,1] first.  Used to age out stale readings.
+  void AddDecayed(double value, double decay);
+
+  /// Estimated fraction of the distribution lying inside `range`, using the
+  /// continuous-uniform assumption within each bucket.  With no observations
+  /// the estimate is uniform over the domain.
+  double SelectivityOf(const Interval& range) const;
+
+  /// Total recorded weight.
+  double TotalWeight() const { return total_; }
+
+  /// The histogram's domain.
+  const Interval& domain() const { return domain_; }
+
+  /// Number of buckets.
+  std::size_t bins() const { return counts_.size(); }
+
+ private:
+  Interval domain_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+}  // namespace ttmqo

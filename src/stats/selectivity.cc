@@ -1,0 +1,56 @@
+#include "stats/selectivity.h"
+
+namespace ttmqo {
+
+AttributeDistribution::AttributeDistribution(std::size_t bins) {
+  histograms_.reserve(kNumAttributes);
+  for (Attribute attr : kAllAttributes) {
+    histograms_.emplace_back(AttributeRange(attr), bins);
+  }
+}
+
+void AttributeDistribution::Observe(const Reading& reading) {
+  for (Attribute attr : kAllAttributes) {
+    if (attr == Attribute::kNodeId) continue;  // ids are not a distribution
+    const auto value = reading.Get(attr);
+    if (value.has_value()) histograms_[AttributeIndex(attr)].Add(*value);
+  }
+}
+
+double AttributeDistribution::Selectivity(
+    const PredicateSet& predicates) const {
+  double sel = 1.0;
+  for (const Predicate& p : predicates.AsList()) {
+    sel *= histograms_[AttributeIndex(p.attribute)].SelectivityOf(p.range);
+  }
+  return sel;
+}
+
+double AttributeDistribution::WeightOf(Attribute attr) const {
+  return histograms_[AttributeIndex(attr)].TotalWeight();
+}
+
+SelectivityEstimator::SelectivityEstimator(std::size_t bins)
+    : bins_(bins), shared_(bins) {}
+
+AttributeDistribution& SelectivityEstimator::ForLevel(std::size_t level) {
+  auto it = per_level_.find(level);
+  if (it == per_level_.end()) {
+    it = per_level_.emplace(level, AttributeDistribution(bins_)).first;
+  }
+  return it->second;
+}
+
+double SelectivityEstimator::Selectivity(const PredicateSet& predicates,
+                                         std::size_t level) const {
+  const auto it = per_level_.find(level);
+  if (it != per_level_.end()) return it->second.Selectivity(predicates);
+  return shared_.Selectivity(predicates);
+}
+
+double SelectivityEstimator::Selectivity(
+    const PredicateSet& predicates) const {
+  return shared_.Selectivity(predicates);
+}
+
+}  // namespace ttmqo

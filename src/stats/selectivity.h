@@ -1,0 +1,69 @@
+// Selectivity estimation for query predicates.
+//
+// Implements the `sel(q_i, N_k)` term of Eq. (1): the fraction of nodes at
+// routing level k whose readings satisfy a predicate conjunction.  Attribute
+// independence is assumed (selectivities multiply), as is standard.  The
+// registry can hold one distribution per routing level or a single shared
+// distribution; the paper's experiments use the latter ("we only use one
+// distribution for all the levels, which actually biases against our
+// techniques", Section 3.1.2).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "query/predicate.h"
+#include "sensing/attribute.h"
+#include "sensing/reading.h"
+#include "stats/histogram.h"
+
+namespace ttmqo {
+
+/// Per-attribute histograms describing the readings of one set of nodes.
+class AttributeDistribution {
+ public:
+  /// Builds uniform-prior histograms (`bins` buckets per attribute).
+  explicit AttributeDistribution(std::size_t bins = 32);
+
+  /// Folds every sampled attribute of `reading` into the histograms.
+  void Observe(const Reading& reading);
+
+  /// Estimated fraction of nodes whose readings satisfy `predicates`
+  /// (product over constrained attributes).
+  double Selectivity(const PredicateSet& predicates) const;
+
+  /// Total observations folded into the `light` histogram (proxy for age).
+  double WeightOf(Attribute attr) const;
+
+ private:
+  std::vector<Histogram> histograms_;  // indexed by AttributeIndex
+};
+
+/// Distributions per routing level with a shared fallback.
+class SelectivityEstimator {
+ public:
+  /// Creates an estimator with only the shared (all-levels) distribution.
+  explicit SelectivityEstimator(std::size_t bins = 32);
+
+  /// The shared distribution (levels without their own use this one).
+  AttributeDistribution& shared() { return shared_; }
+  const AttributeDistribution& shared() const { return shared_; }
+
+  /// Creates (if needed) and returns the distribution for `level`.
+  AttributeDistribution& ForLevel(std::size_t level);
+
+  /// Estimated selectivity of `predicates` over nodes at `level`; falls back
+  /// to the shared distribution when the level has no observations.
+  double Selectivity(const PredicateSet& predicates, std::size_t level) const;
+
+  /// Estimated selectivity using the shared distribution.
+  double Selectivity(const PredicateSet& predicates) const;
+
+ private:
+  std::size_t bins_;
+  AttributeDistribution shared_;
+  std::map<std::size_t, AttributeDistribution> per_level_;
+};
+
+}  // namespace ttmqo

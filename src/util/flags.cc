@@ -1,0 +1,94 @@
+#include "util/flags.h"
+
+#include <stdexcept>
+
+namespace ttmqo {
+namespace {
+
+bool LooksLikeFlag(const std::string& arg) {
+  return arg.size() > 2 && arg.rfind("--", 0) == 0;
+}
+
+}  // namespace
+
+Flags Flags::Parse(int argc, const char* const* argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!LooksLikeFlag(arg)) {
+      flags.positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags.values_[arg.substr(0, eq)] = {arg.substr(eq + 1), false};
+    } else if (i + 1 < argc && !LooksLikeFlag(argv[i + 1])) {
+      flags.values_[arg] = {argv[++i], false};
+    } else {
+      flags.values_[arg] = {"true", false};  // bare boolean flag
+    }
+  }
+  return flags;
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  it->second.second = true;
+  return it->second.first;
+}
+
+std::int64_t Flags::GetInt(const std::string& name,
+                           std::int64_t fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  it->second.second = true;
+  try {
+    return std::stoll(it->second.first);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + " expects an integer, got '" +
+                                it->second.first + "'");
+  }
+}
+
+double Flags::GetDouble(const std::string& name, double fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  it->second.second = true;
+  try {
+    return std::stod(it->second.first);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + " expects a number, got '" +
+                                it->second.first + "'");
+  }
+}
+
+bool Flags::GetBool(const std::string& name, bool fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  it->second.second = true;
+  const std::string& v = it->second.first;
+  if (v == "true" || v == "1") return true;
+  if (v == "false" || v == "0") return false;
+  throw std::invalid_argument("flag --" + name + " expects a boolean, got '" +
+                              v + "'");
+}
+
+bool Flags::Has(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return false;
+  it->second.second = true;
+  return true;
+}
+
+std::vector<std::string> Flags::UnreadFlags() const {
+  std::vector<std::string> unread;
+  for (const auto& [name, entry] : values_) {
+    if (!entry.second) unread.push_back(name);
+  }
+  return unread;
+}
+
+}  // namespace ttmqo

@@ -1,0 +1,48 @@
+// A tiny command-line flag parser for benchmark and example binaries.
+//
+// Accepts `--name=value` and `--name value`; unknown flags are an error so
+// that experiment scripts fail loudly on typos.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ttmqo {
+
+/// Parsed command-line flags.
+class Flags {
+ public:
+  /// Parses argv.  Throws `std::invalid_argument` on malformed input.
+  static Flags Parse(int argc, const char* const* argv);
+
+  /// Returns the flag value or `fallback` when absent.
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const;
+
+  /// Returns the flag as int64 or `fallback` when absent; throws when the
+  /// value is present but not numeric.
+  std::int64_t GetInt(const std::string& name, std::int64_t fallback) const;
+
+  /// Returns the flag as double or `fallback` when absent.
+  double GetDouble(const std::string& name, double fallback) const;
+
+  /// Returns the flag as bool ("true"/"false"/"1"/"0"); bare `--name` is true.
+  bool GetBool(const std::string& name, bool fallback) const;
+
+  /// True when the flag was supplied.
+  bool Has(const std::string& name) const;
+
+  /// Flag names that were supplied but never read; used to reject typos.
+  std::vector<std::string> UnreadFlags() const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  mutable std::map<std::string, std::pair<std::string, bool>> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ttmqo

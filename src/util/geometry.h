@@ -1,0 +1,22 @@
+// Planar geometry for node placement and radio reachability.
+#pragma once
+
+#include <cmath>
+
+namespace ttmqo {
+
+/// A point in the deployment plane, in feet (the paper uses a 20 ft grid
+/// spacing and a 50 ft radio radius, Section 4.1).
+struct Position {
+  double x = 0.0;
+  double y = 0.0;
+
+  bool operator==(const Position&) const = default;
+};
+
+/// Euclidean distance between two positions, in feet.
+inline double Distance(const Position& a, const Position& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+}  // namespace ttmqo

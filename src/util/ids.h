@@ -1,0 +1,21 @@
+// Identifier types shared across layers.
+#pragma once
+
+#include <cstdint>
+
+namespace ttmqo {
+
+/// A sensor node address.  TinyOS motes use 16-bit addresses; node 0 is the
+/// base station (Section 4.1 places it at the upper-left grid corner).
+using NodeId = std::uint16_t;
+
+/// The reserved address of the base station / sink.
+inline constexpr NodeId kBaseStationId = 0;
+
+/// A user query identifier, unique within a base station's lifetime.
+using QueryId = std::uint32_t;
+
+/// An invalid/absent query id.
+inline constexpr QueryId kInvalidQueryId = 0;
+
+}  // namespace ttmqo

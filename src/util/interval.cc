@@ -1,0 +1,56 @@
+#include "util/interval.h"
+
+#include <cstdio>
+#include <limits>
+
+namespace ttmqo {
+
+Interval::Interval(double lo, double hi) {
+  if (lo <= hi) {
+    lo_ = lo;
+    hi_ = hi;
+    empty_ = false;
+  }
+}
+
+Interval Interval::All() {
+  return Interval(std::numeric_limits<double>::lowest(),
+                  std::numeric_limits<double>::max());
+}
+
+bool Interval::Covers(const Interval& other) const {
+  if (other.empty_) return true;
+  if (empty_) return false;
+  return lo_ <= other.lo_ && hi_ >= other.hi_;
+}
+
+bool Interval::Intersects(const Interval& other) const {
+  return !Intersect(other).empty();
+}
+
+Interval Interval::Intersect(const Interval& other) const {
+  if (empty_ || other.empty_) return Interval();
+  return Interval(std::max(lo_, other.lo_), std::min(hi_, other.hi_));
+}
+
+Interval Interval::Hull(const Interval& other) const {
+  if (empty_) return other;
+  if (other.empty_) return *this;
+  return Interval(std::min(lo_, other.lo_), std::max(hi_, other.hi_));
+}
+
+double Interval::OverlapFraction(const Interval& other) const {
+  if (empty_ || other.empty_) return 0.0;
+  const double len = Length();
+  if (len <= 0.0) return Contains(other.lo_) ? 1.0 : 0.0;
+  return Intersect(other).Length() / len;
+}
+
+std::string Interval::ToString() const {
+  if (empty_) return "(empty)";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "[%g, %g]", lo_, hi_);
+  return buf;
+}
+
+}  // namespace ttmqo

@@ -1,0 +1,73 @@
+// Closed numeric intervals.
+//
+// Query predicates in the paper are range predicates `(attribute, min, max)`
+// (Section 3.1.1); the base-station rewriter unions and intersects them when
+// integrating queries and when estimating selectivity.  `Interval` models a
+// closed range [lo, hi] over doubles, with an explicit empty state.
+#pragma once
+
+#include <algorithm>
+#include <optional>
+#include <string>
+
+namespace ttmqo {
+
+/// A closed interval [lo, hi] over doubles.  An interval with lo > hi is
+/// normalized to the canonical empty interval.
+class Interval {
+ public:
+  /// The empty interval.
+  Interval() = default;
+
+  /// Builds [lo, hi]; if lo > hi the result is empty.
+  Interval(double lo, double hi);
+
+  /// The interval covering every representable value.
+  static Interval All();
+
+  /// True iff no value lies inside.
+  bool empty() const { return empty_; }
+
+  /// Lower bound; only meaningful when not empty.
+  double lo() const { return lo_; }
+
+  /// Upper bound; only meaningful when not empty.
+  double hi() const { return hi_; }
+
+  /// Width (hi - lo); 0 for empty intervals.
+  double Length() const { return empty_ ? 0.0 : hi_ - lo_; }
+
+  /// True iff `v` lies within the interval.
+  bool Contains(double v) const { return !empty_ && v >= lo_ && v <= hi_; }
+
+  /// True iff every point of `other` lies within this interval.  The empty
+  /// interval is covered by everything.
+  bool Covers(const Interval& other) const;
+
+  /// True iff the intervals share at least one point.
+  bool Intersects(const Interval& other) const;
+
+  /// The common part of the two intervals (possibly empty).
+  Interval Intersect(const Interval& other) const;
+
+  /// The smallest single interval containing both inputs.  This is the
+  /// *convex hull*, not a set union: integrating predicates `[100,300]` and
+  /// `[280,600]` yields `[100,600]` as in the paper's worked example.
+  Interval Hull(const Interval& other) const;
+
+  /// Fraction of this interval's length that `other` overlaps; 0 when either
+  /// is empty or this interval has zero length.
+  double OverlapFraction(const Interval& other) const;
+
+  bool operator==(const Interval& other) const = default;
+
+  /// "[lo, hi]" or "(empty)".
+  std::string ToString() const;
+
+ private:
+  double lo_ = 0.0;
+  double hi_ = 0.0;
+  bool empty_ = true;
+};
+
+}  // namespace ttmqo

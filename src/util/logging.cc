@@ -1,0 +1,42 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+
+namespace ttmqo {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level); }
+
+LogLevel GetLogLevel() { return g_level.load(); }
+
+void LogLine(LogLevel level, std::string_view component,
+             std::string_view message) {
+  if (level < g_level.load()) return;
+  std::fprintf(stderr, "[%s %.*s] %.*s\n", LevelName(level),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+Logger::~Logger() { LogLine(level_, component_, stream_.str()); }
+
+}  // namespace ttmqo

@@ -1,0 +1,49 @@
+// Minimal leveled logging to stderr.
+//
+// The simulator is run inside tests and benchmarks, so logging defaults to
+// `kWarning` and is globally adjustable.  Log lines carry the simulation
+// component and are flushed per line.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace ttmqo {
+
+/// Severity of a log statement.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum severity that is emitted.
+void SetLogLevel(LogLevel level);
+
+/// Returns the current global minimum severity.
+LogLevel GetLogLevel();
+
+/// Emits one log line (if `level` passes the global filter).
+void LogLine(LogLevel level, std::string_view component,
+             std::string_view message);
+
+/// Stream-style log statement builder:
+///   Logger(LogLevel::kInfo, "net") << "node " << id << " joined";
+/// The line is emitted when the temporary is destroyed.
+class Logger {
+ public:
+  Logger(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+  ~Logger();
+
+  template <typename T>
+  Logger& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace ttmqo

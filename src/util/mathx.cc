@@ -1,0 +1,15 @@
+#include "util/mathx.h"
+
+namespace ttmqo {
+
+SimDuration GcdAll(std::span<const SimDuration> values) {
+  CheckArg(!values.empty(), "GcdAll: range must be non-empty");
+  SimDuration g = 0;
+  for (SimDuration v : values) {
+    CheckArg(v > 0, "GcdAll: durations must be positive");
+    g = std::gcd(g, v);
+  }
+  return g;
+}
+
+}  // namespace ttmqo

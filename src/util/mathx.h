@@ -1,0 +1,40 @@
+// Small numeric helpers shared across the project.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <span>
+
+#include "util/check.h"
+#include "util/time.h"
+
+namespace ttmqo {
+
+/// Greatest common divisor of two positive durations.
+constexpr SimDuration Gcd(SimDuration a, SimDuration b) {
+  return std::gcd(a, b);
+}
+
+/// GCD over a non-empty range of positive durations.  Used by the in-network
+/// tier to derive the shared clock period (Section 3.2.1).
+SimDuration GcdAll(std::span<const SimDuration> values);
+
+/// Least common multiple of two positive durations (the hyper-period of two
+/// epoch clocks).
+constexpr SimDuration Lcm(SimDuration a, SimDuration b) {
+  return std::lcm(a, b);
+}
+
+/// Rounds `t` up to the next multiple of `step` (returns `t` when already
+/// aligned).  Used to phase-align query epoch starts (Section 3.2.1).
+constexpr SimTime AlignUp(SimTime t, SimDuration step) {
+  const SimTime rem = t % step;
+  return rem == 0 ? t : t + (step - rem);
+}
+
+/// True iff `a` divides `b` exactly.
+constexpr bool Divides(SimDuration a, SimDuration b) {
+  return a > 0 && b % a == 0;
+}
+
+}  // namespace ttmqo

@@ -1,0 +1,15 @@
+#include "util/time.h"
+
+#include <cstdio>
+
+namespace ttmqo {
+
+std::string FormatSimTime(SimTime t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld.%03llds",
+                static_cast<long long>(t / 1000),
+                static_cast<long long>(t % 1000 < 0 ? -(t % 1000) : t % 1000));
+  return buf;
+}
+
+}  // namespace ttmqo

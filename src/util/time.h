@@ -1,0 +1,34 @@
+// Simulation time primitives.
+//
+// All simulator clocks are integral milliseconds.  TinyDB-era motes schedule
+// epochs as multiples of a base timer tick; the paper fixes the smallest
+// allowed epoch duration at 2048 ms and requires every epoch duration to be
+// divisible by it (Section 3.2.1).  Using integral milliseconds keeps GCD
+// arithmetic on epochs exact and the event queue totally ordered.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ttmqo {
+
+/// A point in simulated time, in milliseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// A span of simulated time, in milliseconds.
+using SimDuration = std::int64_t;
+
+/// The smallest epoch duration TinyDB-style motes support (Section 3.2.1).
+/// Every query epoch duration must be a positive multiple of this value.
+inline constexpr SimDuration kMinEpochDurationMs = 2048;
+
+/// Formats a simulation time as "12.345s" for logs and reports.
+std::string FormatSimTime(SimTime t);
+
+/// True iff `epoch` is a legal epoch duration: positive and divisible by
+/// `kMinEpochDurationMs`.
+constexpr bool IsValidEpochDuration(SimDuration epoch) {
+  return epoch > 0 && epoch % kMinEpochDurationMs == 0;
+}
+
+}  // namespace ttmqo

@@ -1,0 +1,152 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ttmqo {
+
+RandomQueryModel::RandomQueryModel(QueryModelParams params, std::uint64_t seed)
+    : params_(std::move(params)), rng_(seed) {
+  CheckArg(!params_.attributes.empty(),
+           "RandomQueryModel: need candidate attributes");
+  CheckArg(!params_.operators.empty(),
+           "RandomQueryModel: need candidate operators");
+  CheckArg(!params_.epochs.empty(), "RandomQueryModel: need candidate epochs");
+  for (SimDuration e : params_.epochs) {
+    CheckArg(IsValidEpochDuration(e), "RandomQueryModel: invalid epoch");
+  }
+  CheckArg(params_.predicate_selectivity > 0.0 &&
+               params_.predicate_selectivity <= 1.0,
+           "RandomQueryModel: selectivity must be in (0, 1]");
+}
+
+PredicateSet RandomQueryModel::RandomPredicates() {
+  PredicateSet predicates;
+  if (!rng_.Bernoulli(params_.predicate_probability)) return predicates;
+  const std::size_t count =
+      params_.max_predicates <= 1
+          ? 1
+          : static_cast<std::size_t>(rng_.UniformInt(
+                1, static_cast<std::int64_t>(params_.max_predicates)));
+  for (std::size_t i = 0; i < count; ++i) {
+    double coverage = params_.predicate_selectivity;
+    if (params_.randomize_selectivity) {
+      coverage = rng_.Uniform(0.1, params_.predicate_selectivity);
+    }
+    if (coverage >= 1.0) continue;
+    // A random attribute constrained to a random window covering the
+    // requested fraction of its physical range (Section 4.3).  Repeated
+    // attributes intersect, which keeps the conjunction satisfiable only
+    // when the windows overlap — both cases are worth generating.
+    const Attribute attr =
+        params_.attributes[rng_.Index(params_.attributes.size())];
+    const Interval range = AttributeRange(attr);
+    const double width = range.Length() * coverage;
+    const double lo = rng_.Uniform(range.lo(), range.hi() - width);
+    predicates.Constrain(attr, Interval(lo, lo + width));
+  }
+  return predicates;
+}
+
+Query RandomQueryModel::Next(QueryId id) {
+  if (params_.template_pool > 0) {
+    // Lazily build the pool, then draw with an 80/20 skew: most arrivals
+    // repeat one of the few hot templates.
+    while (templates_.size() < params_.template_pool) {
+      templates_.push_back(
+          FreshQuery(static_cast<QueryId>(templates_.size() + 1)));
+    }
+    const std::size_t hot = std::max<std::size_t>(
+        1, params_.template_pool / 5);
+    const std::size_t pick = rng_.Bernoulli(0.8)
+                                 ? rng_.Index(hot)
+                                 : rng_.Index(params_.template_pool);
+    return templates_[pick].WithId(id);
+  }
+  return FreshQuery(id);
+}
+
+Query RandomQueryModel::FreshQuery(QueryId id) {
+  const SimDuration epoch = params_.epochs[rng_.Index(params_.epochs.size())];
+  PredicateSet predicates = RandomPredicates();
+  if (rng_.Bernoulli(params_.aggregation_fraction)) {
+    const AggregateOp op =
+        params_.operators[rng_.Index(params_.operators.size())];
+    const Attribute attr =
+        params_.attributes[rng_.Index(params_.attributes.size())];
+    return Query::Aggregation(id, {AggregateSpec{op, attr}},
+                              std::move(predicates), epoch);
+  }
+  std::vector<Attribute> attrs;
+  if (params_.acquisition_selects_all) {
+    attrs.assign(params_.attributes.begin(), params_.attributes.end());
+  } else {
+    attrs.push_back(params_.attributes[rng_.Index(params_.attributes.size())]);
+    if (params_.attributes.size() > 1 && rng_.Bernoulli(0.5)) {
+      attrs.push_back(
+          params_.attributes[rng_.Index(params_.attributes.size())]);
+    }
+  }
+  return Query::Acquisition(id, std::move(attrs), std::move(predicates),
+                            epoch);
+}
+
+std::vector<WorkloadEvent> DynamicSchedule(RandomQueryModel& model,
+                                           std::size_t count,
+                                           double mean_interarrival_ms,
+                                           double mean_duration_ms,
+                                           std::uint64_t seed,
+                                           QueryId first_id) {
+  CheckArg(mean_interarrival_ms > 0 && mean_duration_ms > 0,
+           "DynamicSchedule: means must be positive");
+  Rng rng(seed);
+  std::vector<WorkloadEvent> events;
+  events.reserve(2 * count);
+  double arrival = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    arrival += rng.Exponential(mean_interarrival_ms);
+    const QueryId id = first_id + static_cast<QueryId>(i);
+    Query query = model.Next(id);
+    const double raw_duration = rng.Exponential(mean_duration_ms);
+    const auto duration = std::max<SimDuration>(
+        static_cast<SimDuration>(raw_duration),
+        2 * query.epoch());  // run for at least two epochs
+
+    WorkloadEvent submit;
+    submit.time = static_cast<SimTime>(arrival);
+    submit.kind = WorkloadEvent::Kind::kSubmit;
+    submit.id = id;
+    submit.query = std::move(query);
+
+    WorkloadEvent terminate;
+    terminate.time = submit.time + duration;
+    terminate.kind = WorkloadEvent::Kind::kTerminate;
+    terminate.id = id;
+
+    events.push_back(std::move(submit));
+    events.push_back(std::move(terminate));
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const WorkloadEvent& a, const WorkloadEvent& b) {
+                     return a.time < b.time;
+                   });
+  return events;
+}
+
+std::vector<WorkloadEvent> StaticSchedule(const std::vector<Query>& queries,
+                                          SimTime at) {
+  std::vector<WorkloadEvent> events;
+  events.reserve(queries.size());
+  for (const Query& query : queries) {
+    WorkloadEvent submit;
+    submit.time = at;
+    submit.kind = WorkloadEvent::Kind::kSubmit;
+    submit.id = query.id();
+    submit.query = query;
+    events.push_back(std::move(submit));
+  }
+  return events;
+}
+
+}  // namespace ttmqo

@@ -1,0 +1,103 @@
+// Workload generation.
+//
+// `RandomQueryModel` reproduces the random query model of Section 4.3:
+// queries randomly select attributes (nodeid, light, temp), aggregations
+// (MAX, MIN), predicates and epoch durations (8192 ms to 24576 ms, all
+// divisible by 4096 ms).  The predicate selectivity knob fixes each
+// predicate's range coverage, as in the Figure 5 experiment.
+// `DynamicSchedule` turns the model into an arrival/termination event list
+// with a given mean inter-arrival time and mean duration (the paper keeps
+// arrivals at one query per 40 s and varies duration to control the number
+// of concurrent queries).
+#pragma once
+
+#include <vector>
+
+#include "query/query.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace ttmqo {
+
+/// Parameters of the Section 4.3 random query model.
+struct QueryModelParams {
+  /// Probability that a generated query is an aggregation query.
+  double aggregation_fraction = 0.5;
+  /// Attributes a query may project / aggregate over.
+  std::vector<Attribute> attributes = {Attribute::kLight, Attribute::kTemp};
+  /// Operators an aggregation query may use.
+  std::vector<AggregateOp> operators = {AggregateOp::kMax, AggregateOp::kMin};
+  /// Candidate epoch durations (ms); the paper uses 8192..24576 step 4096.
+  std::vector<SimDuration> epochs = {8192, 12288, 16384, 20480, 24576};
+  /// Probability that a query carries a predicate at all.
+  double predicate_probability = 1.0;
+  /// Range coverage of each predicate (the Figure 5 selectivity knob);
+  /// 1.0 means the predicate spans the whole attribute range.
+  double predicate_selectivity = 0.6;
+  /// When true, each predicate's coverage is drawn uniformly from
+  /// (0.1, predicate_selectivity] instead of being fixed — the "randomly
+  /// select predicates" model of Section 4.3.
+  bool randomize_selectivity = false;
+  /// Maximum number of range predicates per query (distinct attributes);
+  /// the actual count is uniform in [0/1, max] depending on
+  /// `predicate_probability`.
+  std::size_t max_predicates = 1;
+  /// Skewed workloads (Section 4.3 conjectures their similarity — and thus
+  /// TTMQO's benefit — is greater): when > 0, queries are drawn from a
+  /// fixed pool of this many templates with an 80/20 skew (80 % of queries
+  /// come from the hottest 20 % of templates) instead of being fresh
+  /// random draws.  0 disables the pool.
+  std::size_t template_pool = 0;
+  /// When true, acquisition queries project every sensed attribute
+  /// (the Figure 5 setup); otherwise they project 1-2 random attributes.
+  bool acquisition_selects_all = false;
+};
+
+/// Draws queries from the random model.  Deterministic in the seed.
+class RandomQueryModel {
+ public:
+  RandomQueryModel(QueryModelParams params, std::uint64_t seed);
+
+  /// Generates the next random query with identifier `id`.
+  Query Next(QueryId id);
+
+  const QueryModelParams& params() const { return params_; }
+
+ private:
+  PredicateSet RandomPredicates();
+  Query FreshQuery(QueryId id);
+
+  QueryModelParams params_;
+  Rng rng_;
+  std::vector<Query> templates_;
+};
+
+/// One submit/terminate event of a workload schedule.
+struct WorkloadEvent {
+  enum class Kind { kSubmit, kTerminate };
+  SimTime time = 0;
+  Kind kind = Kind::kSubmit;
+  /// Valid for kSubmit.
+  std::optional<Query> query;
+  /// The affected query id (also set for kSubmit).
+  QueryId id = kInvalidQueryId;
+};
+
+/// Builds a dynamic schedule: `count` queries arriving with exponential
+/// inter-arrival times (mean `mean_interarrival_ms`), each running for an
+/// exponential duration (mean `mean_duration_ms`, at least one epoch).
+/// Events are sorted by time.  The expected number of concurrent queries is
+/// mean_duration / mean_interarrival (Little's law).
+std::vector<WorkloadEvent> DynamicSchedule(RandomQueryModel& model,
+                                           std::size_t count,
+                                           double mean_interarrival_ms,
+                                           double mean_duration_ms,
+                                           std::uint64_t seed,
+                                           QueryId first_id = 1);
+
+/// Builds a static schedule: every query submitted at `at` (before the
+/// first epoch boundary), never terminated.
+std::vector<WorkloadEvent> StaticSchedule(const std::vector<Query>& queries,
+                                          SimTime at = 16);
+
+}  // namespace ttmqo

@@ -1,0 +1,120 @@
+#include "workload/runner.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "net/topology.h"
+#include "util/check.h"
+
+namespace ttmqo {
+
+std::unique_ptr<FieldModel> MakeFieldModel(FieldKind kind,
+                                           std::uint64_t master_seed) {
+  const std::uint64_t seed = master_seed ^ 0xf1e1dULL;
+  switch (kind) {
+    case FieldKind::kUniform:
+      return std::make_unique<UniformFieldModel>(seed);
+    case FieldKind::kCorrelated:
+      return std::make_unique<CorrelatedFieldModel>(
+          seed, CorrelatedFieldModel::Params{});
+    case FieldKind::kHotspot:
+      return std::make_unique<HotspotFieldModel>(seed,
+                                                 HotspotFieldModel::Params{});
+  }
+  Check(false, "unknown field kind");
+  return nullptr;
+}
+
+RunResult RunExperiment(const RunConfig& config,
+                        const std::vector<WorkloadEvent>& schedule) {
+  CheckArg(config.duration_ms > 0, "RunExperiment: duration must be positive");
+
+  const Topology topology =
+      config.topology == TopologyKind::kGrid
+          ? Topology::Grid(config.grid_side, config.grid_spacing_feet,
+                           config.radio.range_feet)
+          : Topology::RandomUniform(config.random_nodes,
+                                    config.random_side_feet,
+                                    config.radio.range_feet,
+                                    config.seed ^ 0x70b0ULL);
+  Network network(topology, config.radio, config.channel, config.seed);
+  const std::unique_ptr<FieldModel> field =
+      MakeFieldModel(config.field, config.seed);
+
+  RunResult run;
+  TtmqoOptions options;
+  options.mode = config.mode;
+  options.alpha = config.alpha;
+  options.innet = config.innet;
+  TtmqoEngine engine(network, *field, &run.results, options);
+
+  if (config.maintenance_period_ms > 0) {
+    network.StartMaintenanceBeacons(config.maintenance_period_ms,
+                                    config.maintenance_payload_bytes);
+  }
+
+  // Schedule the workload.
+  std::size_t active_users = 0;
+  for (const WorkloadEvent& event : schedule) {
+    CheckArg(event.time >= 0 && event.time < config.duration_ms,
+             "RunExperiment: workload event outside the run window");
+    if (event.kind == WorkloadEvent::Kind::kSubmit) {
+      CheckArg(event.query.has_value(),
+               "RunExperiment: submit event without a query");
+      const Query query = *event.query;
+      network.sim().ScheduleAt(event.time, [&engine, query, &active_users,
+                                            &run]() {
+        engine.SubmitQuery(query);
+        ++active_users;
+        run.peak_user_queries = std::max(run.peak_user_queries, active_users);
+      });
+    } else {
+      const QueryId id = event.id;
+      network.sim().ScheduleAt(event.time, [&engine, id, &active_users]() {
+        engine.TerminateQuery(id);
+        --active_users;
+      });
+    }
+  }
+
+  // Crash faults.
+  for (const NodeFailure& failure : config.failures) {
+    CheckArg(failure.time >= 0 && failure.time < config.duration_ms,
+             "RunExperiment: failure outside the run window");
+    network.sim().ScheduleAt(failure.time, [&network, failure]() {
+      network.FailNode(failure.node);
+    });
+  }
+
+  // Periodic statistics sampler (time-weighted averages).
+  double sum_network_queries = 0.0;
+  double sum_benefit_ratio = 0.0;
+  std::uint64_t samples = 0;
+  if (config.stats_sample_period_ms > 0) {
+    auto sampler = std::make_shared<std::function<void()>>();
+    *sampler = [&, sampler]() {
+      if (engine.NumUserQueries() > 0) {
+        sum_network_queries +=
+            static_cast<double>(engine.NumNetworkQueries());
+        sum_benefit_ratio += engine.BenefitRatio();
+        ++samples;
+      }
+      network.sim().ScheduleAfter(config.stats_sample_period_ms, *sampler);
+    };
+    network.sim().ScheduleAfter(config.stats_sample_period_ms, *sampler);
+  }
+
+  network.sim().RunUntil(config.duration_ms);
+
+  run.summary =
+      RunSummary::FromLedger(network.ledger(), config.duration_ms);
+  run.avg_network_queries =
+      samples > 0 ? sum_network_queries / static_cast<double>(samples) : 0.0;
+  run.avg_benefit_ratio =
+      samples > 0 ? sum_benefit_ratio / static_cast<double>(samples) : 0.0;
+  run.final_benefit_ratio = engine.BenefitRatio();
+  run.events_executed = network.sim().events_executed();
+  return run;
+}
+
+}  // namespace ttmqo

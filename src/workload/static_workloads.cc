@@ -1,0 +1,103 @@
+#include "workload/static_workloads.h"
+
+#include "query/parser.h"
+#include "util/check.h"
+
+namespace ttmqo {
+namespace {
+
+std::vector<Query> Parse(const std::vector<std::string>& sql) {
+  std::vector<Query> queries;
+  queries.reserve(sql.size());
+  for (std::size_t i = 0; i < sql.size(); ++i) {
+    queries.push_back(ParseQuery(static_cast<QueryId>(i + 1), sql[i]));
+  }
+  return queries;
+}
+
+}  // namespace
+
+std::vector<Query> WorkloadA() {
+  // Overlapping acquisition queries on compatible epochs plus aggregation
+  // queries with identical predicates: both tiers can eliminate most of the
+  // redundancy.
+  return Parse({
+      "SELECT light FROM sensors WHERE light BETWEEN 200 AND 700 "
+      "EPOCH DURATION 4096",
+      "SELECT light FROM sensors WHERE light BETWEEN 300 AND 800 "
+      "EPOCH DURATION 4096",
+      "SELECT light, temp FROM sensors WHERE light BETWEEN 250 AND 750 "
+      "EPOCH DURATION 8192",
+      "SELECT light FROM sensors EPOCH DURATION 8192",
+      "SELECT MAX(light) FROM sensors WHERE temp BETWEEN 20 AND 80 "
+      "EPOCH DURATION 4096",
+      "SELECT MIN(light) FROM sensors WHERE temp BETWEEN 20 AND 80 "
+      "EPOCH DURATION 4096",
+      "SELECT MAX(light) FROM sensors WHERE temp BETWEEN 20 AND 80 "
+      "EPOCH DURATION 8192",
+      "SELECT temp FROM sensors WHERE temp BETWEEN 30 AND 60 "
+      "EPOCH DURATION 4096",
+  });
+}
+
+std::vector<Query> WorkloadB() {
+  // Aggregation queries with pairwise different predicates (tier 1 cannot
+  // rewrite them, Section 3.1.2) and acquisition pairs whose epoch
+  // durations (4096 vs 6144) make the GCD merge unbeneficial.  The
+  // acquisition predicates constrain a different attribute than the
+  // aggregation predicates, so merging an aggregation query into an
+  // acquisition query would drop the predicates entirely — never
+  // beneficial.  Only tier 2 shares this workload: coinciding epoch ticks,
+  // query-aware routes, and packed partial aggregates.
+  return Parse({
+      "SELECT MAX(light) FROM sensors WHERE light BETWEEN 0 AND 500 "
+      "EPOCH DURATION 4096",
+      "SELECT MAX(light) FROM sensors WHERE light BETWEEN 400 AND 900 "
+      "EPOCH DURATION 4096",
+      "SELECT MIN(temp) FROM sensors WHERE temp BETWEEN 10 AND 60 "
+      "EPOCH DURATION 6144",
+      "SELECT MAX(temp) FROM sensors WHERE temp BETWEEN 40 AND 90 "
+      "EPOCH DURATION 6144",
+      "SELECT MIN(light) FROM sensors WHERE light BETWEEN 200 AND 600 "
+      "EPOCH DURATION 8192",
+      "SELECT MAX(light) FROM sensors WHERE light BETWEEN 500 AND 1000 "
+      "EPOCH DURATION 8192",
+      "SELECT light FROM sensors WHERE temp BETWEEN 10 AND 70 "
+      "EPOCH DURATION 4096",
+      "SELECT light FROM sensors WHERE temp BETWEEN 20 AND 80 "
+      "EPOCH DURATION 6144",
+  });
+}
+
+std::vector<Query> WorkloadC() {
+  // A mix: a broad acquisition query covers several aggregation queries
+  // (tier 1 suppresses them from the network entirely), while epoch-
+  // incompatible queries are left for tier 2 to share.
+  return Parse({
+      "SELECT light, temp FROM sensors EPOCH DURATION 4096",
+      "SELECT MAX(light) FROM sensors WHERE light BETWEEN 300 AND 800 "
+      "EPOCH DURATION 8192",
+      "SELECT MIN(temp) FROM sensors WHERE temp BETWEEN 20 AND 70 "
+      "EPOCH DURATION 4096",
+      "SELECT light FROM sensors WHERE light BETWEEN 100 AND 600 "
+      "EPOCH DURATION 6144",
+      "SELECT temp FROM sensors WHERE temp BETWEEN 10 AND 50 "
+      "EPOCH DURATION 10240",
+      "SELECT MAX(temp) FROM sensors WHERE temp BETWEEN 0 AND 40 "
+      "EPOCH DURATION 6144",
+      "SELECT light FROM sensors WHERE light BETWEEN 350 AND 750 "
+      "EPOCH DURATION 4096",
+      "SELECT MIN(light) FROM sensors WHERE light BETWEEN 300 AND 800 "
+      "EPOCH DURATION 8192",
+  });
+}
+
+std::vector<Query> WorkloadByName(std::string_view name) {
+  if (name == "A" || name == "a") return WorkloadA();
+  if (name == "B" || name == "b") return WorkloadB();
+  if (name == "C" || name == "c") return WorkloadC();
+  CheckArg(false, "unknown workload name (expected A, B or C)");
+  return {};
+}
+
+}  // namespace ttmqo

@@ -1,0 +1,31 @@
+// The three static workloads of Section 4.2.
+//
+// WORKLOAD_A exercises the savings both tiers can realize (heavily
+// overlapping acquisition queries with compatible epochs, aggregation
+// queries with identical predicates).  WORKLOAD_B exercises what only the
+// in-network tier can share (aggregation queries with pairwise different
+// predicates, acquisition queries with epoch durations whose GCD merge is
+// not beneficial, e.g. 4096 vs 6144 ms).  WORKLOAD_C mixes both, including
+// aggregation queries whose answers derive from an acquisition query (the
+// base station suppresses them entirely).
+#pragma once
+
+#include <vector>
+
+#include "query/query.h"
+
+namespace ttmqo {
+
+/// Queries of WORKLOAD_A (ids 1..8).
+std::vector<Query> WorkloadA();
+
+/// Queries of WORKLOAD_B (ids 1..8).
+std::vector<Query> WorkloadB();
+
+/// Queries of WORKLOAD_C (ids 1..8).
+std::vector<Query> WorkloadC();
+
+/// Workload by name ("A", "B" or "C").
+std::vector<Query> WorkloadByName(std::string_view name);
+
+}  // namespace ttmqo

@@ -1,0 +1,127 @@
+// Failure-injection tests: engines under a lossy, contended channel.
+// Losses may degrade answers (rows can be dropped) but must never corrupt
+// them, crash the engines, or violate accounting invariants.
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+#include "test_helpers.h"
+#include "workload/runner.h"
+#include "workload/static_workloads.h"
+
+namespace ttmqo {
+namespace {
+
+class CollisionTest : public ::testing::TestWithParam<OptimizationMode> {};
+
+TEST_P(CollisionTest, RunsToCompletionUnderHeavyLoss) {
+  RunConfig config;
+  config.grid_side = 4;
+  config.mode = GetParam();
+  config.duration_ms = 10 * 8192;
+  config.channel.collision_prob = 0.15;
+  config.seed = 3;
+  const RunResult run = RunExperiment(config, StaticSchedule(WorkloadC()));
+  EXPECT_GT(run.summary.retransmissions, 0u);
+  EXPECT_GT(run.results.size(), 0u);
+}
+
+TEST_P(CollisionTest, AnswersAreSubsetsOfTheTruth) {
+  // Under loss, an acquisition epoch may MISS rows but must never invent
+  // them, and every reported value must be exact.
+  const Topology topology = Topology::Grid(4);
+  const auto field = MakeFieldModel(FieldKind::kUniform, 3);
+
+  RunConfig config;
+  config.grid_side = 4;
+  config.mode = GetParam();
+  config.duration_ms = 10 * 4096;
+  config.field = FieldKind::kUniform;
+  config.channel.collision_prob = 0.10;
+  config.seed = 3;
+  const Query q =
+      ParseQuery(1, "SELECT light WHERE light > 300 EPOCH DURATION 4096");
+  const RunResult run = RunExperiment(config, StaticSchedule({q}));
+
+  for (const EpochResult* r : run.results.ResultsFor(1)) {
+    const EpochResult truth =
+        testing::OracleResult(q, r->epoch_time, *field, topology);
+    std::map<NodeId, double> expected;
+    for (const Reading& row : truth.rows) {
+      expected[row.node()] = row.GetOrThrow(Attribute::kLight);
+    }
+    for (const Reading& row : r->rows) {
+      ASSERT_TRUE(expected.contains(row.node()))
+          << "invented row from node " << row.node() << " at epoch "
+          << r->epoch_time;
+      EXPECT_DOUBLE_EQ(row.GetOrThrow(Attribute::kLight),
+                       expected[row.node()]);
+    }
+    EXPECT_LE(r->rows.size(), truth.rows.size());
+  }
+}
+
+TEST_P(CollisionTest, LossReducesDeliveredRowsButNotMuchAtLowRates) {
+  RunConfig lossless;
+  lossless.grid_side = 4;
+  lossless.mode = GetParam();
+  lossless.duration_ms = 10 * 4096;
+  lossless.seed = 3;
+  const Query q = ParseQuery(1, "SELECT light EPOCH DURATION 4096");
+  const RunResult clean = RunExperiment(lossless, StaticSchedule({q}));
+
+  RunConfig lossy = lossless;
+  lossy.channel.collision_prob = 0.05;
+  const RunResult noisy = RunExperiment(lossy, StaticSchedule({q}));
+
+  std::size_t clean_rows = 0, noisy_rows = 0;
+  for (const EpochResult* r : clean.results.ResultsFor(1)) {
+    clean_rows += r->rows.size();
+  }
+  for (const EpochResult* r : noisy.results.ResultsFor(1)) {
+    noisy_rows += r->rows.size();
+  }
+  EXPECT_LE(noisy_rows, clean_rows);
+  // Retries recover most losses at a 5% per-interferer rate.
+  EXPECT_GT(noisy_rows, clean_rows / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, CollisionTest,
+    ::testing::Values(OptimizationMode::kBaseline,
+                      OptimizationMode::kBaseStationOnly,
+                      OptimizationMode::kInNetworkOnly,
+                      OptimizationMode::kTwoTier),
+    [](const ::testing::TestParamInfo<OptimizationMode>& info) {
+      switch (info.param) {
+        case OptimizationMode::kBaseline:
+          return "Baseline";
+        case OptimizationMode::kBaseStationOnly:
+          return "BsOnly";
+        case OptimizationMode::kInNetworkOnly:
+          return "InNetOnly";
+        default:
+          return "TwoTier";
+      }
+    });
+
+TEST(CollisionAccountingTest, RetransmissionTimeGrowsWithLossRate) {
+  const auto schedule = StaticSchedule(WorkloadA());
+  double prev_retx_ms = -1.0;
+  for (double p : {0.0, 0.05, 0.15}) {
+    RunConfig config;
+    config.grid_side = 4;
+    config.duration_ms = 10 * 8192;
+    config.mode = OptimizationMode::kBaseline;
+    config.channel.collision_prob = p;
+    config.seed = 7;
+    const RunResult run = RunExperiment(config, schedule);
+    double retx_ms = 0.0;
+    // Total transmit time monotonically includes more retransmissions.
+    retx_ms = static_cast<double>(run.summary.retransmissions);
+    EXPECT_GT(retx_ms, prev_retx_ms);
+    prev_retx_ms = retx_ms;
+  }
+}
+
+}  // namespace
+}  // namespace ttmqo

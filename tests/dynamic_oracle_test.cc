@@ -1,0 +1,61 @@
+// Dynamic-workload correctness: under query churn (arrivals/terminations
+// triggering tier-1 rewrites, aborts and injections), every answer the
+// two-tier engine DOES deliver must be exactly right.  Epochs may be
+// skipped around synthetic-query transitions (documented in DESIGN.md),
+// but a delivered epoch is complete and value-exact on a lossless channel.
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+#include "workload/runner.h"
+
+namespace ttmqo {
+namespace {
+
+class DynamicOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DynamicOracleTest, DeliveredEpochsAreExact) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  QueryModelParams params;
+  params.aggregation_fraction = 0.4;
+  params.epochs = {4096, 8192, 12288};
+  params.predicate_selectivity = 1.0;
+  params.randomize_selectivity = true;
+  RandomQueryModel model(params, seed);
+  const auto schedule =
+      DynamicSchedule(model, 20, 8'000.0, 60'000.0, seed ^ 0x77ULL);
+  SimTime end = 0;
+  std::map<QueryId, Query> queries;
+  for (const WorkloadEvent& event : schedule) {
+    end = std::max(end, event.time);
+    if (event.query.has_value()) queries.emplace(event.id, *event.query);
+  }
+
+  RunConfig config;
+  config.grid_side = 4;
+  config.mode = OptimizationMode::kTwoTier;
+  config.duration_ms = end + 4 * 12288;
+  config.seed = seed * 13 + 1;
+  const RunResult run = RunExperiment(config, schedule);
+  const auto field = MakeFieldModel(config.field, config.seed);
+  const Topology topology = Topology::Grid(4);
+
+  ASSERT_GT(run.results.size(), 0u);
+  std::size_t checked = 0;
+  for (const EpochResult* r : run.results.All()) {
+    const Query& query = queries.at(r->query);
+    const EpochResult truth =
+        testing::OracleResult(query, r->epoch_time, *field, topology);
+    ResultLog expected, actual;
+    expected.OnResult(truth);
+    actual.OnResult(*r);
+    const auto diff = CompareResultLogs(expected, actual, {query}, 1e-6);
+    EXPECT_FALSE(diff.has_value()) << *diff;
+    ++checked;
+  }
+  EXPECT_GT(checked, 20u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DynamicOracleTest, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace ttmqo

@@ -1,0 +1,113 @@
+// Tests for the radio energy model and its integration with the engines:
+// sleep mode must translate into measurably lower energy.
+#include <gtest/gtest.h>
+
+#include "metrics/energy.h"
+#include "query/parser.h"
+#include "workload/runner.h"
+
+namespace ttmqo {
+namespace {
+
+TEST(EnergyModelTest, HandComputedNode) {
+  NodeRadioStats stats;
+  stats.transmit_ms_by_class[0] = 100.0;
+  stats.retransmit_ms = 50.0;
+  stats.sleep_ms = 500.0;
+  // elapsed 1000ms: tx 150, sleep 500, listen 350.
+  EnergyParams params;
+  params.transmit_mw = 60;
+  params.listen_mw = 30;
+  params.sleep_mw = 0.03;
+  const double expected = (60 * 150 + 30 * 350 + 0.03 * 500) / 1000.0;
+  EXPECT_DOUBLE_EQ(NodeEnergyMj(stats, 1000, params), expected);
+}
+
+TEST(EnergyModelTest, IdleListeningDominatesWithoutSleep) {
+  NodeRadioStats idle;  // never transmits, never sleeps
+  const double e = NodeEnergyMj(idle, 10'000);
+  EXPECT_NEAR(e, 30.0 * 10'000 / 1000.0, 1e-9);
+}
+
+TEST(EnergyModelTest, SleepSlashesIdleEnergy) {
+  NodeRadioStats sleeper;
+  sleeper.sleep_ms = 9'000.0;
+  const double awake = NodeEnergyMj(NodeRadioStats{}, 10'000);
+  const double asleep = NodeEnergyMj(sleeper, 10'000);
+  EXPECT_LT(asleep, 0.15 * awake);
+}
+
+TEST(EnergyModelTest, AverageAndMaxOverLedger) {
+  RadioLedger ledger(3);
+  ledger.ChargeTransmit(1, MessageClass::kResult, 100.0, false);
+  ledger.AddSleep(2, 900.0);
+  const double avg = AverageSensorEnergyMj(ledger, 1000);
+  const double worst = MaxSensorEnergyMj(ledger, 1000);
+  EXPECT_GT(worst, avg);
+  // Node 1 (transmitting) outspends node 2 (sleeping).
+  EXPECT_DOUBLE_EQ(worst, NodeEnergyMj(ledger.StatsOf(1), 1000));
+}
+
+TEST(EnergyIntegrationTest, SleepModeSavesRealEnergy) {
+  // A sparse query leaves most nodes idle; with sleep enabled their energy
+  // must drop while answers stay identical (covered elsewhere).
+  const Query q =
+      ParseQuery(1, "SELECT light WHERE light > 950 EPOCH DURATION 8192");
+  double energy[2];
+  for (int i = 0; i < 2; ++i) {
+    RunConfig config;
+    config.grid_side = 5;
+    config.mode = OptimizationMode::kInNetworkOnly;
+    config.duration_ms = 20 * 8192;
+    config.seed = 4;
+    config.innet.enable_sleep = i == 0;
+    const RunResult run = RunExperiment(config, StaticSchedule({q}));
+    // Reconstruct energy from the summary's fractions.
+    const auto elapsed = static_cast<double>(config.duration_ms);
+    const EnergyParams params;
+    const double tx_ms =
+        run.summary.avg_transmission_fraction * elapsed;
+    const double sleep_ms = run.summary.avg_sleep_fraction * elapsed;
+    energy[i] = (params.transmit_mw * tx_ms +
+                 params.listen_mw * (elapsed - tx_ms - sleep_ms) +
+                 params.sleep_mw * sleep_ms) /
+                1000.0;
+  }
+  EXPECT_LT(energy[0], energy[1]) << "sleep must save energy";
+}
+
+TEST(EnergyIntegrationTest, TtmqoLowersTheLifetimeBottleneck) {
+  // The node that transmits most dies first; TTMQO lowers its bill too.
+  const std::vector<Query> queries = {
+      ParseQuery(1, "SELECT light EPOCH DURATION 4096"),
+      ParseQuery(2, "SELECT light EPOCH DURATION 4096"),
+      ParseQuery(3, "SELECT light, temp EPOCH DURATION 8192"),
+      ParseQuery(4, "SELECT MAX(light) EPOCH DURATION 4096"),
+  };
+  const Topology topology = Topology::Grid(4);
+  const auto field = MakeFieldModel(FieldKind::kCorrelated, 6);
+  double worst[2];
+  int i = 0;
+  for (OptimizationMode mode :
+       {OptimizationMode::kTwoTier, OptimizationMode::kBaseline}) {
+    RunConfig config;
+    config.grid_side = 4;
+    config.mode = mode;
+    config.duration_ms = 20 * 8192;
+    config.seed = 6;
+    RunExperiment(config, StaticSchedule(queries));
+    // Re-run manually to access the ledger.
+    Network network(topology, config.radio, config.channel, config.seed);
+    ResultLog log;
+    TtmqoOptions options;
+    options.mode = mode;
+    TtmqoEngine engine(network, *field, &log, options);
+    for (const Query& q : queries) engine.SubmitQuery(q);
+    network.sim().RunUntil(config.duration_ms);
+    worst[i++] = MaxSensorEnergyMj(network.ledger(), config.duration_ms);
+  }
+  EXPECT_LT(worst[0], worst[1]);
+}
+
+}  // namespace
+}  // namespace ttmqo

@@ -1,0 +1,143 @@
+// The repo's central property test: multi-query optimization must never
+// change query semantics.  For every static workload, optimization mode and
+// field model, the per-user answer streams must equal the TinyDB baseline's
+// streams exactly (aggregates within floating-point merge tolerance).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "workload/runner.h"
+#include "workload/static_workloads.h"
+
+namespace ttmqo {
+namespace {
+
+using EquivalenceParam =
+    std::tuple<std::string /*workload*/, OptimizationMode, FieldKind>;
+
+class EquivalenceTest : public ::testing::TestWithParam<EquivalenceParam> {};
+
+RunConfig BaseConfig(FieldKind field, OptimizationMode mode) {
+  RunConfig config;
+  config.grid_side = 4;
+  config.field = field;
+  config.mode = mode;
+  config.duration_ms = 8 * 12288;  // several epochs of every duration used
+  config.maintenance_period_ms = 30000;
+  config.seed = 99;
+  return config;
+}
+
+TEST_P(EquivalenceTest, UserAnswerStreamsMatchBaseline) {
+  const auto& [workload, mode, field] = GetParam();
+  const std::vector<Query> queries = WorkloadByName(workload);
+  const auto schedule = StaticSchedule(queries);
+
+  const RunResult baseline =
+      RunExperiment(BaseConfig(field, OptimizationMode::kBaseline), schedule);
+  const RunResult optimized = RunExperiment(BaseConfig(field, mode), schedule);
+
+  ASSERT_GT(baseline.results.size(), 0u);
+  const auto diff = CompareResultLogs(baseline.results, optimized.results,
+                                      queries, 1e-6);
+  EXPECT_FALSE(diff.has_value()) << *diff;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigurations, EquivalenceTest,
+    ::testing::Combine(
+        ::testing::Values("A", "B", "C"),
+        ::testing::Values(OptimizationMode::kBaseStationOnly,
+                          OptimizationMode::kInNetworkOnly,
+                          OptimizationMode::kTwoTier),
+        ::testing::Values(FieldKind::kUniform, FieldKind::kCorrelated)),
+    [](const ::testing::TestParamInfo<EquivalenceParam>& info) {
+      std::string mode;
+      switch (std::get<1>(info.param)) {
+        case OptimizationMode::kBaseStationOnly:
+          mode = "BsOnly";
+          break;
+        case OptimizationMode::kInNetworkOnly:
+          mode = "InNetOnly";
+          break;
+        default:
+          mode = "TwoTier";
+          break;
+      }
+      return "Workload" + std::get<0>(info.param) + "_" + mode +
+             (std::get<2>(info.param) == FieldKind::kUniform ? "_Uniform"
+                                                             : "_Correlated");
+    });
+
+// The headline claim of the paper as a test: on a lossless channel the
+// optimized modes never transmit more than the baseline, and the two-tier
+// scheme saves substantially on the shared-savings workloads.
+class SavingsTest : public ::testing::TestWithParam<std::string> {};
+
+RunConfig LongConfig(OptimizationMode mode) {
+  // Long enough to amortize the one-off rewrite churn (abort/inject
+  // floods) over steady-state result traffic, as in the paper's runs.
+  RunConfig config = BaseConfig(FieldKind::kCorrelated, mode);
+  config.duration_ms = 40 * 12288;
+  return config;
+}
+
+TEST_P(SavingsTest, OptimizedModesDoNotExceedBaselineTraffic) {
+  const std::vector<Query> queries = WorkloadByName(GetParam());
+  const auto schedule = StaticSchedule(queries);
+  const RunResult baseline =
+      RunExperiment(LongConfig(OptimizationMode::kBaseline), schedule);
+  for (OptimizationMode mode :
+       {OptimizationMode::kBaseStationOnly, OptimizationMode::kInNetworkOnly,
+        OptimizationMode::kTwoTier}) {
+    const RunResult optimized = RunExperiment(LongConfig(mode), schedule);
+    EXPECT_LT(optimized.summary.total_transmit_ms,
+              1.02 * baseline.summary.total_transmit_ms)
+        << OptimizationModeName(mode);
+  }
+}
+
+TEST_P(SavingsTest, TwoTierSavesSubstantially) {
+  const std::vector<Query> queries = WorkloadByName(GetParam());
+  const auto schedule = StaticSchedule(queries);
+  const RunResult baseline =
+      RunExperiment(LongConfig(OptimizationMode::kBaseline), schedule);
+  const RunResult two_tier =
+      RunExperiment(LongConfig(OptimizationMode::kTwoTier), schedule);
+  EXPECT_LT(two_tier.summary.avg_transmission_fraction,
+            0.75 * baseline.summary.avg_transmission_fraction);
+}
+
+TEST(SavingsShapeTest, WorkloadBFavorsInNetworkOverBaseStation) {
+  // The defining property of WORKLOAD_B (Section 4.2): in-network
+  // optimization beats base-station optimization.
+  const auto schedule = StaticSchedule(WorkloadB());
+  const RunResult bs =
+      RunExperiment(LongConfig(OptimizationMode::kBaseStationOnly), schedule);
+  const RunResult innet =
+      RunExperiment(LongConfig(OptimizationMode::kInNetworkOnly), schedule);
+  EXPECT_LT(innet.summary.avg_transmission_fraction,
+            bs.summary.avg_transmission_fraction);
+}
+
+TEST(SavingsShapeTest, WorkloadCTwoTierBeatsEitherTierAlone) {
+  // The defining property of WORKLOAD_C: the tiers are mutually
+  // complementary.
+  const auto schedule = StaticSchedule(WorkloadC());
+  const RunResult bs =
+      RunExperiment(LongConfig(OptimizationMode::kBaseStationOnly), schedule);
+  const RunResult innet =
+      RunExperiment(LongConfig(OptimizationMode::kInNetworkOnly), schedule);
+  const RunResult two =
+      RunExperiment(LongConfig(OptimizationMode::kTwoTier), schedule);
+  EXPECT_LT(two.summary.avg_transmission_fraction,
+            bs.summary.avg_transmission_fraction);
+  EXPECT_LT(two.summary.avg_transmission_fraction,
+            innet.summary.avg_transmission_fraction);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, SavingsTest,
+                         ::testing::Values("A", "B", "C"));
+
+}  // namespace
+}  // namespace ttmqo

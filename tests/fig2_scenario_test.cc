@@ -1,0 +1,149 @@
+// The Figure 2 scenario: two acquisition queries over a spatially
+// connected answer set.  The in-network tier must (a) answer both queries
+// correctly, (b) transmit each source reading once for both queries, and
+// (c) use substantially fewer radio transmissions than TinyDB's
+// per-query relaying.
+#include <gtest/gtest.h>
+
+#include "core/innet/innet_engine.h"
+#include "query/parser.h"
+#include "test_helpers.h"
+#include "tinydb/tinydb_engine.h"
+
+namespace ttmqo {
+namespace {
+
+// A field where a fixed set of nodes has elevated light readings: the
+// "D, E, F, G, H hold data" setup of Figure 2, made deterministic.
+class ClusterField final : public FieldModel {
+ public:
+  explicit ClusterField(std::set<NodeId> hot) : hot_(std::move(hot)) {}
+
+  double Sample(NodeId node, const Position&, Attribute attr,
+                SimTime time) const override {
+    if (attr == Attribute::kNodeId) return node;
+    // Deterministic, time-varying but stable membership.
+    const double base = hot_.contains(node) ? 900.0 : 100.0;
+    return base + static_cast<double>((node * 7 + time / 2048) % 50);
+  }
+
+ private:
+  std::set<NodeId> hot_;
+};
+
+class Fig2ScenarioTest : public ::testing::Test {
+ protected:
+  Fig2ScenarioTest()
+      : topology_(Topology::Grid(4)),
+        // The far corner region of the grid holds the data.
+        field_({10, 11, 14, 15, 13}) {}
+
+  // q_i selects a superset of nodes; q_j a subset — as in Figure 2 where
+  // D,E,F,G,H answer q_i and D,G,H answer q_j.
+  std::vector<Query> Queries() {
+    return {
+        ParseQuery(1, "SELECT light WHERE light > 800 EPOCH DURATION 4096"),
+        ParseQuery(2, "SELECT light WHERE light > 890 EPOCH DURATION 4096"),
+    };
+  }
+
+  Topology topology_;
+  ClusterField field_;
+};
+
+TEST_F(Fig2ScenarioTest, BothQueriesAnsweredCorrectly) {
+  Network network(topology_, RadioParams{}, ChannelParams{}, 1);
+  ResultLog log;
+  InNetworkEngine engine(network, field_, &log);
+  const auto queries = Queries();
+  for (const Query& q : queries) engine.SubmitQuery(q);
+  network.sim().RunUntil(8 * 4096);
+
+  ResultLog oracle;
+  for (const Query& q : queries) {
+    testing::FillOracle(oracle, q, 8 * 4096, field_, topology_);
+  }
+  const auto diff = CompareResultLogs(oracle, log, queries);
+  EXPECT_FALSE(diff.has_value()) << *diff;
+  // Sanity: the cluster actually answers (5 nodes for q1).
+  const EpochResult* r1 = log.Find(1, 4096);
+  ASSERT_NE(r1, nullptr);
+  EXPECT_EQ(r1->rows.size(), 5u);
+}
+
+TEST_F(Fig2ScenarioTest, SharedTransmissionsBeatTinyDb) {
+  Network innet_net(topology_, RadioParams{}, ChannelParams{}, 1);
+  ResultLog innet_log;
+  InNetworkEngine innet(innet_net, field_, &innet_log);
+  for (const Query& q : Queries()) innet.SubmitQuery(q);
+  innet_net.sim().RunUntil(8 * 4096);
+  const auto innet_msgs =
+      innet_net.ledger().TotalSent(MessageClass::kResult);
+
+  Network tinydb_net(topology_, RadioParams{}, ChannelParams{}, 1);
+  ResultLog tinydb_log;
+  TinyDbEngine tinydb(tinydb_net, field_, &tinydb_log);
+  for (const Query& q : Queries()) tinydb.SubmitQuery(q);
+  tinydb_net.sim().RunUntil(8 * 4096);
+  const auto tinydb_msgs =
+      tinydb_net.ledger().TotalSent(MessageClass::kResult);
+
+  // Figure 2 counts 12 vs 20 messages (40% fewer); packing across sources
+  // and queries should save at least that much here.
+  EXPECT_LT(innet_msgs, tinydb_msgs * 6 / 10)
+      << "in-network: " << innet_msgs << ", tinydb: " << tinydb_msgs;
+}
+
+TEST_F(Fig2ScenarioTest, IdleRegionSleeps) {
+  Network network(topology_, RadioParams{}, ChannelParams{}, 1);
+  ResultLog log;
+  InNetOptions options;
+  options.enable_sleep = true;
+  InNetworkEngine engine(network, field_, &log, options);
+  for (const Query& q : Queries()) engine.SubmitQuery(q);
+  network.sim().RunUntil(8 * 4096);
+  // Nodes whose data never matches and that relay nothing accumulate sleep
+  // time (the "C and A can be instructed to sleep" effect).
+  double idle_sleep = 0.0;
+  for (int n : {1, 2, 4}) {  // near the BS, far from the cluster
+    idle_sleep += network.ledger().StatsOf(static_cast<NodeId>(n)).sleep_ms;
+  }
+  EXPECT_GT(idle_sleep, 0.0);
+}
+
+TEST_F(Fig2ScenarioTest, AggregationMergesEarlyInTheCluster) {
+  const std::vector<Query> queries = {
+      ParseQuery(1, "SELECT MAX(light) WHERE light > 800 EPOCH DURATION "
+                    "4096"),
+      ParseQuery(2, "SELECT MAX(light) WHERE light > 890 EPOCH DURATION "
+                    "4096"),
+  };
+  Network innet_net(topology_, RadioParams{}, ChannelParams{}, 1);
+  ResultLog innet_log;
+  InNetworkEngine innet(innet_net, field_, &innet_log);
+  for (const Query& q : queries) innet.SubmitQuery(q);
+  innet_net.sim().RunUntil(8 * 4096);
+
+  Network tinydb_net(topology_, RadioParams{}, ChannelParams{}, 1);
+  ResultLog tinydb_log;
+  TinyDbEngine tinydb(tinydb_net, field_, &tinydb_log);
+  for (const Query& q : queries) tinydb.SubmitQuery(q);
+  tinydb_net.sim().RunUntil(8 * 4096);
+
+  // Correctness in both engines...
+  ResultLog oracle;
+  for (const Query& q : queries) {
+    testing::FillOracle(oracle, q, 8 * 4096, field_, topology_);
+  }
+  auto diff = CompareResultLogs(oracle, innet_log, queries);
+  EXPECT_FALSE(diff.has_value()) << *diff;
+  diff = CompareResultLogs(oracle, tinydb_log, queries);
+  EXPECT_FALSE(diff.has_value()) << *diff;
+  // ...and fewer result transmissions under tier 2 (one shared partial
+  // message carries both queries).
+  EXPECT_LT(innet_net.ledger().TotalSent(MessageClass::kResult),
+            tinydb_net.ledger().TotalSent(MessageClass::kResult));
+}
+
+}  // namespace
+}  // namespace ttmqo

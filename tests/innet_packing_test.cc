@@ -1,0 +1,122 @@
+// White-box-ish tests of tier-2 message packing on a deterministic line
+// topology: BS — A — B — C (40 ft apart, 50 ft range), where exact message
+// counts can be computed by hand.
+#include <gtest/gtest.h>
+
+#include "core/innet/innet_engine.h"
+#include "query/parser.h"
+#include "test_helpers.h"
+#include "tinydb/tinydb_engine.h"
+
+namespace ttmqo {
+namespace {
+
+// Nodes 2 (B) and 3 (C) hold data; 1 (A) is a pure relay.
+class LineField final : public FieldModel {
+ public:
+  double Sample(NodeId node, const Position&, Attribute attr,
+                SimTime time) const override {
+    if (attr == Attribute::kNodeId) return node;
+    const double base = node >= 2 ? 900.0 : 100.0;
+    return base + static_cast<double>((node + time / 2048) % 7);
+  }
+};
+
+class LinePackingTest : public ::testing::Test {
+ protected:
+  LinePackingTest()
+      : topology_({{0, 0}, {40, 0}, {80, 0}, {120, 0}}, 50.0),
+        network_(topology_, RadioParams{}, ChannelParams{}, 1) {}
+
+  Topology topology_;
+  Network network_;
+  LineField field_;
+  ResultLog log_;
+};
+
+TEST_F(LinePackingTest, LineTopologyIsAChain) {
+  EXPECT_EQ(topology_.NeighborsOf(0), std::vector<NodeId>{1});
+  EXPECT_EQ(topology_.NeighborsOf(1), (std::vector<NodeId>{0, 2}));
+  EXPECT_EQ(topology_.NeighborsOf(3), std::vector<NodeId>{2});
+  EXPECT_EQ(topology_.MaxDepth(), 3u);
+}
+
+TEST_F(LinePackingTest, RelaysPackRowsIntoOneMessagePerHop) {
+  const Query q =
+      ParseQuery(1, "SELECT light WHERE light > 800 EPOCH DURATION 4096");
+  InNetworkEngine engine(network_, field_, &log_);
+  engine.SubmitQuery(q);
+  network_.sim().RunUntil(2 * 4096);  // first epoch closes at 8192
+
+  // Hand count: C sends its row to B (1); B packs C's row with its own and
+  // sends one message to A (1); A relays the batch to the BS (1) = 3.
+  EXPECT_EQ(network_.ledger().TotalSent(MessageClass::kResult), 3u);
+  // Both rows arrived.
+  const EpochResult* r = log_.Find(1, 4096);
+  ASSERT_NE(r, nullptr);
+  ASSERT_EQ(r->rows.size(), 2u);
+  EXPECT_EQ(r->rows[0].node(), 2);
+  EXPECT_EQ(r->rows[1].node(), 3);
+}
+
+TEST_F(LinePackingTest, BaselineSendsPerRowPerHop) {
+  const Query q =
+      ParseQuery(1, "SELECT light WHERE light > 800 EPOCH DURATION 4096");
+  TinyDbEngine engine(network_, field_, &log_);
+  engine.SubmitQuery(q);
+  network_.sim().RunUntil(2 * 4096);
+  // C's row: C->B->A->BS (3 hops); B's row: B->A->BS (2 hops) = 5 messages.
+  EXPECT_EQ(network_.ledger().TotalSent(MessageClass::kResult), 5u);
+}
+
+TEST_F(LinePackingTest, TwoQueriesShareOneBatch) {
+  const Query q1 =
+      ParseQuery(1, "SELECT light WHERE light > 800 EPOCH DURATION 4096");
+  const Query q2 = ParseQuery(
+      2, "SELECT light, temp WHERE light > 850 EPOCH DURATION 4096");
+  InNetworkEngine engine(network_, field_, &log_);
+  engine.SubmitQuery(q1);
+  engine.SubmitQuery(q2);
+  network_.sim().RunUntil(2 * 4096);
+  // Same three transmissions serve both queries (rows co-match).
+  EXPECT_EQ(network_.ledger().TotalSent(MessageClass::kResult), 3u);
+  const EpochResult* r1 = log_.Find(1, 4096);
+  const EpochResult* r2 = log_.Find(2, 4096);
+  ASSERT_NE(r1, nullptr);
+  ASSERT_NE(r2, nullptr);
+  EXPECT_EQ(r1->rows.size(), 2u);
+  EXPECT_EQ(r2->rows.size(), 2u);
+}
+
+TEST_F(LinePackingTest, AggregationMergesToOneMessagePerHop) {
+  const Query q = ParseQuery(
+      1, "SELECT SUM(light) WHERE light > 800 EPOCH DURATION 4096");
+  InNetworkEngine engine(network_, field_, &log_);
+  engine.SubmitQuery(q);
+  network_.sim().RunUntil(2 * 4096);
+  // C's partial -> B merges -> one message per hop: C->B, B->A, A->BS = 3.
+  EXPECT_EQ(network_.ledger().TotalSent(MessageClass::kResult), 3u);
+  const EpochResult* r = log_.Find(1, 4096);
+  ASSERT_NE(r, nullptr);
+  ASSERT_TRUE(r->aggregates[0].second.has_value());
+  // SUM over nodes 2 and 3 at t=4096: (900+(2+2)%7) + (900+(3+2)%7).
+  EXPECT_DOUBLE_EQ(*r->aggregates[0].second, (900 + 4) + (900 + 5));
+}
+
+TEST_F(LinePackingTest, LateRowsAreForwardedNotLost) {
+  // Disable packing: rows are forwarded immediately, arriving at the relay
+  // after its (empty) slot — the late path must still deliver them.
+  const Query q =
+      ParseQuery(1, "SELECT light WHERE light > 800 EPOCH DURATION 4096");
+  InNetOptions options;
+  options.shared_messages = false;
+  InNetworkEngine engine(network_, field_, &log_, options);
+  engine.SubmitQuery(q);
+  network_.sim().RunUntil(3 * 4096);
+  const EpochResult* r = log_.Find(1, 2 * 4096);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->rows.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ttmqo

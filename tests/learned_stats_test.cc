@@ -1,0 +1,134 @@
+// Tests for the learned-statistics option: the base station feeds returned
+// rows into the selectivity estimator (Section 3.1.2, "Statistics").
+#include <gtest/gtest.h>
+
+#include "core/ttmqo_engine.h"
+#include "query/parser.h"
+#include "workload/runner.h"
+
+namespace ttmqo {
+namespace {
+
+// A field whose light values live in a narrow high band: the uniform
+// assumption badly misestimates selectivities here.
+class HighLightField final : public FieldModel {
+ public:
+  double Sample(NodeId node, const Position&, Attribute attr,
+                SimTime time) const override {
+    if (attr == Attribute::kNodeId) return node;
+    if (attr == Attribute::kLight) {
+      return 850.0 + static_cast<double>((node * 13 + time / 2048) % 100);
+    }
+    return 50.0;
+  }
+};
+
+TEST(LearnedStatsTest, DistributionConvergesToTheField) {
+  const Topology topology = Topology::Grid(4);
+  Network network(topology, RadioParams{}, ChannelParams{}, 1);
+  const HighLightField field;
+  ResultLog log;
+  TtmqoOptions options;
+  options.mode = OptimizationMode::kTwoTier;
+  options.learn_statistics = true;
+  TtmqoEngine engine(network, field, &log, options);
+
+  // An unconstrained acquisition query: every row is an unbiased sample.
+  engine.SubmitQuery(ParseQuery(1, "SELECT light EPOCH DURATION 4096"));
+  network.sim().RunUntil(10 * 4096);
+
+  PredicateSet low = PredicateSet::Of({{Attribute::kLight, Interval(0, 500)}});
+  PredicateSet high =
+      PredicateSet::Of({{Attribute::kLight, Interval(800, 1000)}});
+  // Uniform prior would say 0.5 and 0.2; the learned distribution knows
+  // the truth (0 and ~1).
+  EXPECT_LT(engine.selectivity().Selectivity(low), 0.05);
+  EXPECT_GT(engine.selectivity().Selectivity(high), 0.9);
+}
+
+TEST(LearnedStatsTest, ConstrainedAttributesAreNotLearned) {
+  const Topology topology = Topology::Grid(4);
+  Network network(topology, RadioParams{}, ChannelParams{}, 1);
+  const HighLightField field;
+  ResultLog log;
+  TtmqoOptions options;
+  options.mode = OptimizationMode::kTwoTier;
+  options.learn_statistics = true;
+  TtmqoEngine engine(network, field, &log, options);
+
+  // The query filters light > 900: its rows are a biased sample of light,
+  // so light must not be learned from them (temp is unconstrained and may).
+  engine.SubmitQuery(ParseQuery(
+      1, "SELECT light, temp WHERE light > 900 EPOCH DURATION 4096"));
+  network.sim().RunUntil(10 * 4096);
+
+  PredicateSet low = PredicateSet::Of({{Attribute::kLight, Interval(0, 500)}});
+  // Still the uniform prior (0.5), not the biased near-zero estimate.
+  EXPECT_NEAR(engine.selectivity().Selectivity(low), 0.5, 1e-9);
+}
+
+TEST(LearnedStatsTest, PerLevelDistributionsAreMaintained) {
+  // On a spatially-correlated field, routing levels see different value
+  // distributions; with learning on, the per-level estimate departs from
+  // the shared one.
+  const Topology topology = Topology::Grid(4);
+  Network network(topology, RadioParams{}, ChannelParams{}, 1);
+  const auto field = MakeFieldModel(FieldKind::kCorrelated, 1);
+  ResultLog log;
+  TtmqoOptions options;
+  options.mode = OptimizationMode::kTwoTier;
+  options.learn_statistics = true;
+  TtmqoEngine engine(network, *field, &log, options);
+  engine.SubmitQuery(ParseQuery(1, "SELECT light EPOCH DURATION 4096"));
+  network.sim().RunUntil(10 * 4096);
+  // Every populated level has observations; selectivity per level is
+  // well-defined and within [0, 1].
+  PredicateSet mid = PredicateSet::Of({{Attribute::kLight, Interval(300, 700)}});
+  for (std::size_t level = 1; level <= topology.MaxDepth(); ++level) {
+    const double sel = engine.selectivity().Selectivity(mid, level);
+    EXPECT_GE(sel, 0.0);
+    EXPECT_LE(sel, 1.0);
+  }
+}
+
+TEST(LearnedStatsTest, OffByDefault) {
+  const Topology topology = Topology::Grid(4);
+  Network network(topology, RadioParams{}, ChannelParams{}, 1);
+  const HighLightField field;
+  ResultLog log;
+  TtmqoOptions options;
+  options.mode = OptimizationMode::kTwoTier;
+  TtmqoEngine engine(network, field, &log, options);
+  engine.SubmitQuery(ParseQuery(1, "SELECT light EPOCH DURATION 4096"));
+  network.sim().RunUntil(10 * 4096);
+  PredicateSet low = PredicateSet::Of({{Attribute::kLight, Interval(0, 500)}});
+  EXPECT_NEAR(engine.selectivity().Selectivity(low), 0.5, 1e-9);
+}
+
+TEST(LearnedStatsTest, AnswersUnchangedByLearning) {
+  // Learning adapts cost estimates, never semantics.
+  const Topology topology = Topology::Grid(4);
+  const HighLightField field;
+  ResultLog with, without;
+  for (bool learn : {true, false}) {
+    Network network(topology, RadioParams{}, ChannelParams{}, 1);
+    TtmqoOptions options;
+    options.mode = OptimizationMode::kTwoTier;
+    options.learn_statistics = learn;
+    TtmqoEngine engine(network, field, learn ? &with : &without, options);
+    engine.SubmitQuery(ParseQuery(1, "SELECT light EPOCH DURATION 4096"));
+    engine.SubmitQuery(ParseQuery(
+        2, "SELECT MAX(light) WHERE light > 860 EPOCH DURATION 8192"));
+    network.sim().RunUntil(10 * 4096);
+  }
+  const std::vector<Query> queries = {
+      ParseQuery(1, "SELECT light EPOCH DURATION 4096"),
+      ParseQuery(2,
+                 "SELECT MAX(light) WHERE light > 860 EPOCH DURATION 8192"),
+  };
+  const auto diff = CompareResultLogs(without, with, queries);
+  EXPECT_FALSE(diff.has_value()) << *diff;
+}
+
+}  // namespace
+}  // namespace ttmqo

@@ -1,0 +1,64 @@
+// Tests for run summaries and table rendering.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "metrics/run_summary.h"
+#include "metrics/table.h"
+
+namespace ttmqo {
+namespace {
+
+TEST(RunSummaryTest, SnapshotsTheLedger) {
+  RadioLedger ledger(4);
+  ledger.ChargeTransmit(1, MessageClass::kResult, 100.0, false);
+  ledger.ChargeTransmit(2, MessageClass::kQueryPropagation, 50.0, false);
+  ledger.ChargeTransmit(2, MessageClass::kResult, 10.0, true);
+  ledger.ChargeTransmit(3, MessageClass::kMaintenance, 5.0, false);
+  ledger.AddSleep(3, 500.0);
+
+  const RunSummary s = RunSummary::FromLedger(ledger, 1000);
+  EXPECT_EQ(s.result_messages, 1u);
+  EXPECT_EQ(s.propagation_messages, 1u);
+  EXPECT_EQ(s.maintenance_messages, 1u);
+  EXPECT_EQ(s.retransmissions, 1u);
+  EXPECT_EQ(s.total_messages, 3u);
+  EXPECT_DOUBLE_EQ(s.total_transmit_ms, 165.0);
+  // Sensors 1..3 transmit (100 + 60 + 5) ms over 1000 ms.
+  EXPECT_NEAR(s.avg_transmission_fraction, (0.1 + 0.06 + 0.005) / 3, 1e-12);
+  EXPECT_NEAR(s.avg_sleep_fraction, 0.5 / 3, 1e-12);
+  EXPECT_FALSE(s.ToString().empty());
+}
+
+TEST(SavingsPercentTest, Basics) {
+  EXPECT_DOUBLE_EQ(SavingsPercent(10.0, 5.0), 50.0);
+  EXPECT_DOUBLE_EQ(SavingsPercent(10.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(SavingsPercent(10.0, 12.0), -20.0);
+  EXPECT_DOUBLE_EQ(SavingsPercent(0.0, 5.0), 0.0);  // undefined -> 0
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"short", "1"});
+  table.AddRow({"a-much-longer-name", "23.5"});
+  std::ostringstream out;
+  table.Print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("a-much-longer-name"), std::string::npos);
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+}
+
+TEST(TablePrinterTest, RejectsRaggedRows) {
+  TablePrinter table({"a", "b"});
+  EXPECT_THROW(table.AddRow({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(TablePrinter({}), std::invalid_argument);
+}
+
+TEST(TablePrinterTest, NumFormatsPrecision) {
+  EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Num(3.0, 0), "3");
+}
+
+}  // namespace
+}  // namespace ttmqo

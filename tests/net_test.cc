@@ -1,0 +1,339 @@
+// Unit tests for the simulator core, topology, channel and ledger.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/network.h"
+#include "net/simulator.h"
+#include "net/topology.h"
+
+namespace ttmqo {
+namespace {
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(30, [&] { order.push_back(3); });
+  sim.ScheduleAt(10, [&] { order.push_back(1); });
+  sim.ScheduleAt(20, [&] { order.push_back(2); });
+  sim.RunUntil(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 100);
+}
+
+TEST(SimulatorTest, EqualTimeEventsFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(5, [&order, i] { order.push_back(i); });
+  }
+  sim.RunUntil(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SimulatorTest, HandlersMayScheduleMoreEvents) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> chain = [&]() {
+    ++fired;
+    if (fired < 5) sim.ScheduleAfter(10, chain);
+  };
+  sim.ScheduleAt(0, chain);
+  sim.RunUntil(1000);
+  EXPECT_EQ(fired, 5);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(10, [&] { ++fired; });
+  sim.ScheduleAt(11, [&] { ++fired; });
+  sim.RunUntil(10);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.RunUntil(20);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, SchedulingInThePastThrows) {
+  Simulator sim;
+  sim.ScheduleAt(10, [] {});
+  sim.RunUntil(10);
+  EXPECT_THROW(sim.ScheduleAt(5, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.ScheduleAfter(-1, [] {}), std::invalid_argument);
+}
+
+TEST(TopologyTest, GridGeometryMatchesThePaper) {
+  const Topology t = Topology::Grid(4);  // 20 ft spacing, 50 ft range
+  EXPECT_EQ(t.size(), 16u);
+  EXPECT_EQ(t.PositionOf(0), (Position{0, 0}));
+  EXPECT_EQ(t.PositionOf(5), (Position{20, 20}));
+  // 50 ft range covers offsets (1,0)=20, (1,1)=28.3, (2,0)=40, (2,1)=44.7
+  // but not (2,2)=56.6 or (3,0)=60.
+  EXPECT_TRUE(t.AreNeighbors(0, 1));
+  EXPECT_TRUE(t.AreNeighbors(0, 5));   // diagonal
+  EXPECT_TRUE(t.AreNeighbors(0, 2));   // two to the right
+  EXPECT_TRUE(t.AreNeighbors(0, 6));   // (2,1)
+  EXPECT_FALSE(t.AreNeighbors(0, 10)); // (2,2)
+  EXPECT_FALSE(t.AreNeighbors(0, 3));  // (3,0)
+}
+
+TEST(TopologyTest, HopLevelsFromTheBaseStation) {
+  const Topology t = Topology::Grid(4);
+  const auto& levels = t.HopLevels();
+  EXPECT_EQ(levels[0], 0u);
+  EXPECT_EQ(levels[1], 1u);
+  EXPECT_EQ(levels[6], 1u);
+  // Node 15 at (60,60): two hops (e.g. via node 10 at (40,40)? 10 is not a
+  // neighbor of 0; via 6 at (40,20)... distance 6->15 = sqrt(40^2+20^2)=44.7
+  // so 15 is reachable in 2 hops.
+  EXPECT_EQ(levels[15], 2u);
+  std::size_t total = 0;
+  for (std::size_t n : t.NodesPerLevel()) total += n;
+  EXPECT_EQ(total, t.size());
+}
+
+TEST(TopologyTest, NeighborSymmetry) {
+  const Topology t = Topology::Grid(5);
+  for (NodeId a = 0; a < t.size(); ++a) {
+    for (NodeId b : t.NeighborsOf(a)) {
+      EXPECT_TRUE(t.AreNeighbors(b, a));
+      EXPECT_NE(a, b);
+    }
+  }
+}
+
+TEST(TopologyTest, DisconnectedDeploymentRejected) {
+  std::vector<Position> positions = {{0, 0}, {1000, 1000}};
+  EXPECT_THROW(Topology(std::move(positions), 50.0), std::invalid_argument);
+}
+
+TEST(TopologyTest, RandomUniformIsConnectedAndDeterministic) {
+  const Topology a = Topology::RandomUniform(20, 150, 60, 5);
+  const Topology b = Topology::RandomUniform(20, 150, 60, 5);
+  EXPECT_EQ(a.size(), 20u);
+  for (NodeId n = 0; n < a.size(); ++n) {
+    EXPECT_EQ(a.PositionOf(n), b.PositionOf(n));
+  }
+}
+
+TEST(LinkQualityTest, SymmetricAndBounded) {
+  const Topology t = Topology::Grid(4);
+  const LinkQualityMap q(t, 9);
+  for (NodeId a = 0; a < t.size(); ++a) {
+    for (NodeId b : t.NeighborsOf(a)) {
+      const double v = q.Quality(a, b);
+      EXPECT_GT(v, 0.0);
+      EXPECT_LE(v, 1.0);
+      EXPECT_DOUBLE_EQ(v, q.Quality(b, a));
+    }
+  }
+  EXPECT_THROW(q.Quality(0, 15), std::invalid_argument);
+}
+
+TEST(LinkQualityTest, CloserLinksTendToBeBetter) {
+  const Topology t = Topology::Grid(4);
+  const LinkQualityMap q(t, 9);
+  // Averaged over all edges, 20 ft links beat 44.7 ft links.
+  double near_sum = 0, far_sum = 0;
+  int near_n = 0, far_n = 0;
+  for (NodeId a = 0; a < t.size(); ++a) {
+    for (NodeId b : t.NeighborsOf(a)) {
+      const double d = Distance(t.PositionOf(a), t.PositionOf(b));
+      if (d < 25) {
+        near_sum += q.Quality(a, b);
+        ++near_n;
+      } else if (d > 42) {
+        far_sum += q.Quality(a, b);
+        ++far_n;
+      }
+    }
+  }
+  ASSERT_GT(near_n, 0);
+  ASSERT_GT(far_n, 0);
+  EXPECT_GT(near_sum / near_n, far_sum / far_n);
+}
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest()
+      : topology_(Topology::Grid(3)),
+        network_(topology_, RadioParams{}, ChannelParams{}, 42) {}
+
+  Topology topology_;
+  Network network_;
+};
+
+TEST_F(NetworkTest, BroadcastReachesAllAwakeNeighbors) {
+  std::vector<NodeId> received;
+  for (NodeId n : topology_.AllNodes()) {
+    network_.SetReceiver(n, [&received, n](const Message&, bool addressed) {
+      if (addressed) received.push_back(n);
+    });
+  }
+  Message msg;
+  msg.mode = AddressMode::kBroadcast;
+  msg.sender = 4;  // center of the 3x3 grid: everyone is in range
+  msg.payload_bytes = 10;
+  network_.Send(std::move(msg));
+  network_.sim().RunUntil(1000);
+  EXPECT_EQ(received.size(), topology_.NeighborsOf(4).size());
+}
+
+TEST_F(NetworkTest, UnicastAddressesOnlyTheDestination) {
+  int addressed_count = 0, overheard_count = 0;
+  for (NodeId n : topology_.AllNodes()) {
+    network_.SetReceiver(n, [&](const Message&, bool addressed) {
+      (addressed ? addressed_count : overheard_count)++;
+    });
+  }
+  Message msg;
+  msg.mode = AddressMode::kUnicast;
+  msg.sender = 4;
+  msg.destinations = {0};
+  msg.payload_bytes = 10;
+  network_.Send(std::move(msg));
+  network_.sim().RunUntil(1000);
+  EXPECT_EQ(addressed_count, 1);
+  EXPECT_EQ(overheard_count,
+            static_cast<int>(topology_.NeighborsOf(4).size()) - 1);
+}
+
+TEST_F(NetworkTest, SendToNonNeighborThrows) {
+  const Topology line({{0, 0}, {40, 0}, {80, 0}}, 50.0);
+  Network net(line, RadioParams{}, ChannelParams{}, 1);
+  Message msg;
+  msg.mode = AddressMode::kUnicast;
+  msg.sender = 0;
+  msg.destinations = {2};  // 80 ft away: out of range
+  EXPECT_THROW(net.Send(std::move(msg)), std::invalid_argument);
+}
+
+TEST_F(NetworkTest, TransmitTimeChargedToSender) {
+  Message msg;
+  msg.mode = AddressMode::kBroadcast;
+  msg.sender = 4;
+  msg.cls = MessageClass::kResult;
+  msg.payload_bytes = 13;
+  network_.Send(std::move(msg));
+  network_.sim().RunUntil(1000);
+  const RadioParams radio;
+  EXPECT_DOUBLE_EQ(network_.ledger().StatsOf(4).TotalTransmitMs(),
+                   radio.TransmitDurationMs(13));
+  EXPECT_EQ(network_.ledger().TotalSent(MessageClass::kResult), 1u);
+}
+
+TEST_F(NetworkTest, SendsFromOneNodeSerialize) {
+  // Two back-to-back sends: the second starts after the first finishes.
+  std::vector<SimTime> deliveries;
+  network_.SetReceiver(0, [&](const Message&, bool addressed) {
+    if (addressed) deliveries.push_back(network_.sim().Now());
+  });
+  for (int i = 0; i < 2; ++i) {
+    Message msg;
+    msg.mode = AddressMode::kUnicast;
+    msg.sender = 4;
+    msg.destinations = {0};
+    msg.payload_bytes = 20;
+    network_.Send(std::move(msg));
+  }
+  network_.sim().RunUntil(1000);
+  ASSERT_EQ(deliveries.size(), 2u);
+  const RadioParams radio;
+  const auto d =
+      static_cast<SimTime>(std::ceil(radio.TransmitDurationMs(20)));
+  EXPECT_EQ(deliveries[1] - deliveries[0], d);
+}
+
+TEST_F(NetworkTest, AsleepNodesReceiveAddressedButNotOverheard) {
+  int addressed = 0, overheard = 0;
+  network_.SetReceiver(0, [&](const Message&, bool was_addressed) {
+    (was_addressed ? addressed : overheard)++;
+  });
+  network_.SetAsleep(0, true);
+  Message unicast;
+  unicast.mode = AddressMode::kUnicast;
+  unicast.sender = 4;
+  unicast.destinations = {0};
+  network_.Send(std::move(unicast));
+  Message other;
+  other.mode = AddressMode::kUnicast;
+  other.sender = 4;
+  other.destinations = {8};
+  network_.Send(std::move(other));
+  network_.sim().RunUntil(1000);
+  EXPECT_EQ(addressed, 1);  // low-power listening catches addressed traffic
+  EXPECT_EQ(overheard, 0);  // but a sleeping radio cannot snoop
+}
+
+TEST_F(NetworkTest, SleepTimeIsAccounted) {
+  network_.sim().ScheduleAt(100, [&] { network_.SetAsleep(3, true); });
+  network_.sim().ScheduleAt(600, [&] { network_.SetAsleep(3, false); });
+  network_.sim().RunUntil(1000);
+  EXPECT_DOUBLE_EQ(network_.ledger().StatsOf(3).sleep_ms, 500.0);
+}
+
+TEST(NetworkCollisionTest, CollisionsCauseRetransmissions) {
+  const Topology t = Topology::Grid(3);
+  ChannelParams channel;
+  channel.collision_prob = 0.5;
+  Network net(t, RadioParams{}, channel, 7);
+  // Fire many concurrent broadcasts from different senders.
+  for (NodeId n = 0; n < t.size(); ++n) {
+    Message msg;
+    msg.mode = AddressMode::kBroadcast;
+    msg.sender = n;
+    msg.payload_bytes = 24;
+    net.Send(std::move(msg));
+  }
+  net.sim().RunUntil(10'000);
+  EXPECT_GT(net.ledger().TotalRetransmissions(), 0u);
+}
+
+TEST(NetworkCollisionTest, LosslessChannelNeverRetransmits) {
+  const Topology t = Topology::Grid(3);
+  Network net(t, RadioParams{}, ChannelParams{}, 7);
+  for (NodeId n = 0; n < t.size(); ++n) {
+    Message msg;
+    msg.mode = AddressMode::kBroadcast;
+    msg.sender = n;
+    msg.payload_bytes = 24;
+    net.Send(std::move(msg));
+  }
+  net.sim().RunUntil(10'000);
+  EXPECT_EQ(net.ledger().TotalRetransmissions(), 0u);
+}
+
+TEST(LedgerTest, AverageTransmissionTimeExcludesBaseStation) {
+  RadioLedger ledger(3);
+  ledger.ChargeTransmit(0, MessageClass::kResult, 500.0, false);
+  ledger.ChargeTransmit(1, MessageClass::kResult, 100.0, false);
+  ledger.ChargeTransmit(2, MessageClass::kResult, 300.0, false);
+  // Sensors 1 and 2 average (100+300)/2 over 1000 ms.
+  EXPECT_DOUBLE_EQ(ledger.AverageTransmissionTime(1000), 0.2);
+  EXPECT_NEAR(ledger.AverageTransmissionTime(1000, true), 0.3, 1e-12);
+}
+
+TEST(LedgerTest, RetransmissionsTrackedSeparately) {
+  RadioLedger ledger(2);
+  ledger.ChargeTransmit(1, MessageClass::kResult, 10.0, false);
+  ledger.ChargeTransmit(1, MessageClass::kResult, 10.0, true);
+  EXPECT_EQ(ledger.TotalSent(MessageClass::kResult), 1u);
+  EXPECT_EQ(ledger.TotalRetransmissions(), 1u);
+  EXPECT_DOUBLE_EQ(ledger.StatsOf(1).TotalTransmitMs(), 20.0);
+  EXPECT_DOUBLE_EQ(ledger.StatsOf(1).retransmit_ms, 10.0);
+}
+
+TEST(NetworkTest2, MaintenanceBeaconsFlowPeriodically) {
+  const Topology t = Topology::Grid(3);
+  Network net(t, RadioParams{}, ChannelParams{}, 3);
+  net.StartMaintenanceBeacons(1000, 6);
+  net.sim().RunUntil(10'000);
+  const auto beacons = net.ledger().TotalSent(MessageClass::kMaintenance);
+  // 9 nodes, one beacon per second for 10 s (staggered start).
+  EXPECT_GE(beacons, 80u);
+  EXPECT_LE(beacons, 95u);
+}
+
+}  // namespace
+}  // namespace ttmqo

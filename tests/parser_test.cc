@@ -1,0 +1,155 @@
+// Unit tests for the TinyDB SQL dialect parser.
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+
+namespace ttmqo {
+namespace {
+
+TEST(ParserTest, SimpleAcquisition) {
+  const Query q =
+      ParseQuery(1, "SELECT light FROM sensors EPOCH DURATION 4096");
+  EXPECT_EQ(q.id(), 1u);
+  EXPECT_EQ(q.kind(), QueryKind::kAcquisition);
+  EXPECT_EQ(q.epoch(), 4096);
+  EXPECT_TRUE(q.predicates().IsUnconstrained());
+}
+
+TEST(ParserTest, FromClauseIsOptional) {
+  const Query q = ParseQuery(1, "SELECT light EPOCH DURATION 2048");
+  EXPECT_EQ(q.kind(), QueryKind::kAcquisition);
+}
+
+TEST(ParserTest, PaperExampleQueries) {
+  // The three queries of the Section 3.1.3 worked example.
+  const Query q1 = ParseQuery(
+      1, "select light where 280 < light and light < 600 epoch duration 4096");
+  EXPECT_EQ(q1.predicates().ConstraintOn(Attribute::kLight),
+            Interval(280, 600));
+  const Query q2 = ParseQuery(
+      2, "select light where 100 < light and light < 300 epoch duration 8192");
+  EXPECT_EQ(q2.predicates().ConstraintOn(Attribute::kLight),
+            Interval(100, 300));
+}
+
+TEST(ParserTest, BetweenSyntax) {
+  const Query q = ParseQuery(
+      1, "SELECT temp WHERE temp BETWEEN 10 AND 40 EPOCH DURATION 4096");
+  EXPECT_EQ(q.predicates().ConstraintOn(Attribute::kTemp), Interval(10, 40));
+}
+
+TEST(ParserTest, ReversedComparison) {
+  const Query q =
+      ParseQuery(1, "SELECT light WHERE 500 >= light EPOCH DURATION 4096");
+  const auto c = q.predicates().ConstraintOn(Attribute::kLight);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_DOUBLE_EQ(c->hi(), 500.0);
+}
+
+TEST(ParserTest, EqualityPredicate) {
+  const Query q =
+      ParseQuery(1, "SELECT light WHERE nodeid = 5 EPOCH DURATION 4096");
+  EXPECT_EQ(q.predicates().ConstraintOn(Attribute::kNodeId), Interval(5, 5));
+}
+
+TEST(ParserTest, AggregationQuery) {
+  const Query q = ParseQuery(
+      7, "SELECT MAX(light), MIN(temp) FROM sensors EPOCH DURATION 8192");
+  EXPECT_EQ(q.kind(), QueryKind::kAggregation);
+  ASSERT_EQ(q.aggregates().size(), 2u);
+}
+
+TEST(ParserTest, SelectStarProjectsAllSensedAttributes) {
+  const Query q = ParseQuery(1, "SELECT * EPOCH DURATION 4096");
+  EXPECT_EQ(q.attributes().size(), kSensedAttributes.size() + 1);  // + nodeid
+}
+
+TEST(ParserTest, CaseInsensitiveKeywords) {
+  EXPECT_NO_THROW(
+      ParseQuery(1, "select Max(Light) from SENSORS epoch duration 4096"));
+}
+
+TEST(ParserTest, RejectsMixedProjection) {
+  EXPECT_THROW(
+      ParseQuery(1, "SELECT light, MAX(temp) EPOCH DURATION 4096"),
+      ParseError);
+}
+
+TEST(ParserTest, RejectsBadEpoch) {
+  EXPECT_THROW(ParseQuery(1, "SELECT light EPOCH DURATION 1000"), ParseError);
+  EXPECT_THROW(ParseQuery(1, "SELECT light EPOCH DURATION -2048"), ParseError);
+  EXPECT_THROW(ParseQuery(1, "SELECT light EPOCH DURATION 2048.5"),
+               ParseError);
+}
+
+TEST(ParserTest, RejectsUnknownNames) {
+  EXPECT_THROW(ParseQuery(1, "SELECT bogus EPOCH DURATION 2048"), ParseError);
+  EXPECT_THROW(ParseQuery(1, "SELECT MEDIAN(light) EPOCH DURATION 2048"),
+               ParseError);
+  EXPECT_THROW(
+      ParseQuery(1, "SELECT light FROM other_table EPOCH DURATION 2048"),
+      ParseError);
+}
+
+TEST(ParserTest, RejectsTrailingGarbage) {
+  EXPECT_THROW(ParseQuery(1, "SELECT light EPOCH DURATION 2048 extra"),
+               ParseError);
+}
+
+TEST(ParserTest, RejectsMissingEpoch) {
+  EXPECT_THROW(ParseQuery(1, "SELECT light"), ParseError);
+}
+
+TEST(ParserTest, RejectsMalformedComparison) {
+  EXPECT_THROW(ParseQuery(1, "SELECT light WHERE light << 5 EPOCH DURATION "
+                             "2048"),
+               ParseError);
+  EXPECT_THROW(
+      ParseQuery(1, "SELECT light WHERE light < temp EPOCH DURATION 2048"),
+      ParseError);
+}
+
+TEST(ParserTest, MultiplePredicatesOnOneAttributeIntersect) {
+  const Query q = ParseQuery(
+      1,
+      "SELECT light WHERE light > 100 AND light < 600 AND temp < 50 "
+      "EPOCH DURATION 4096");
+  EXPECT_EQ(q.predicates().ConstraintOn(Attribute::kLight),
+            Interval(100, 600));
+  const auto temp = q.predicates().ConstraintOn(Attribute::kTemp);
+  ASSERT_TRUE(temp.has_value());
+  EXPECT_DOUBLE_EQ(temp->hi(), 50.0);
+}
+
+}  // namespace
+}  // namespace ttmqo
+
+namespace lifetime_tests {
+
+TEST(ParserLifetimeTest, ForClauseParsed) {
+  const ttmqo::Query q = ttmqo::ParseQuery(
+      1, "SELECT light EPOCH DURATION 4096 FOR 40960");
+  EXPECT_EQ(q.lifetime(), 40960);
+  EXPECT_NE(q.ToSql().find("FOR 40960"), std::string::npos);
+}
+
+TEST(ParserLifetimeTest, DefaultIsContinuous) {
+  const ttmqo::Query q =
+      ttmqo::ParseQuery(1, "SELECT light EPOCH DURATION 4096");
+  EXPECT_EQ(q.lifetime(), 0);
+  EXPECT_EQ(q.ToSql().find("FOR"), std::string::npos);
+}
+
+TEST(ParserLifetimeTest, RejectsBadLifetimes) {
+  EXPECT_THROW(
+      ttmqo::ParseQuery(1, "SELECT light EPOCH DURATION 4096 FOR 2048"),
+      ttmqo::ParseError);  // shorter than one epoch
+  EXPECT_THROW(
+      ttmqo::ParseQuery(1, "SELECT light EPOCH DURATION 4096 FOR -1"),
+      ttmqo::ParseError);
+  EXPECT_THROW(
+      ttmqo::ParseQuery(1, "SELECT light EPOCH DURATION 4096 FOR x"),
+      ttmqo::ParseError);
+}
+
+}  // namespace lifetime_tests

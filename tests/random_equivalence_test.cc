@@ -1,0 +1,81 @@
+// Randomized property sweep: for many random static workloads, every
+// optimization mode must reproduce the baseline's per-user answer streams
+// exactly.  This complements the hand-designed workloads of
+// equivalence_test.cc with broad coverage of the query space.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "workload/runner.h"
+
+namespace ttmqo {
+namespace {
+
+using SweepParam = std::tuple<int /*seed*/, OptimizationMode>;
+
+class RandomEquivalenceTest : public ::testing::TestWithParam<SweepParam> {};
+
+std::vector<Query> RandomWorkload(std::uint64_t seed) {
+  QueryModelParams params;
+  params.aggregation_fraction = 0.4;
+  params.attributes = {Attribute::kLight, Attribute::kTemp,
+                       Attribute::kHumidity};
+  params.operators = {AggregateOp::kMax, AggregateOp::kMin, AggregateOp::kSum,
+                      AggregateOp::kAvg, AggregateOp::kCount,
+                      AggregateOp::kVar};
+  params.epochs = {4096, 6144, 8192, 12288};
+  params.predicate_selectivity = 1.0;
+  params.randomize_selectivity = true;
+  RandomQueryModel model(params, seed);
+  std::vector<Query> queries;
+  for (QueryId i = 1; i <= 6; ++i) queries.push_back(model.Next(i));
+  return queries;
+}
+
+TEST_P(RandomEquivalenceTest, AnswersMatchBaseline) {
+  const auto& [seed, mode] = GetParam();
+  const std::vector<Query> queries =
+      RandomWorkload(static_cast<std::uint64_t>(seed));
+  const auto schedule = StaticSchedule(queries);
+
+  RunConfig config;
+  config.grid_side = 4;
+  config.field = FieldKind::kCorrelated;
+  config.duration_ms = 6 * 12288;
+  config.seed = static_cast<std::uint64_t>(seed) * 31 + 7;
+
+  config.mode = OptimizationMode::kBaseline;
+  const RunResult baseline = RunExperiment(config, schedule);
+  config.mode = mode;
+  const RunResult optimized = RunExperiment(config, schedule);
+
+  ASSERT_GT(baseline.results.size(), 0u);
+  const auto diff = CompareResultLogs(baseline.results, optimized.results,
+                                      queries, 1e-6);
+  EXPECT_FALSE(diff.has_value()) << "seed " << seed << ": " << *diff;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomEquivalenceTest,
+    ::testing::Combine(::testing::Range(1, 11),
+                       ::testing::Values(OptimizationMode::kBaseStationOnly,
+                                         OptimizationMode::kInNetworkOnly,
+                                         OptimizationMode::kTwoTier)),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      std::string mode;
+      switch (std::get<1>(info.param)) {
+        case OptimizationMode::kBaseStationOnly:
+          mode = "BsOnly";
+          break;
+        case OptimizationMode::kInNetworkOnly:
+          mode = "InNetOnly";
+          break;
+        default:
+          mode = "TwoTier";
+          break;
+      }
+      return "Seed" + std::to_string(std::get<0>(info.param)) + "_" + mode;
+    });
+
+}  // namespace
+}  // namespace ttmqo

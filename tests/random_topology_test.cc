@@ -1,0 +1,52 @@
+// Equivalence and sanity on random (non-grid) deployments: nothing in the
+// scheme depends on the grid structure.
+#include <gtest/gtest.h>
+
+#include "workload/runner.h"
+#include "workload/static_workloads.h"
+
+namespace ttmqo {
+namespace {
+
+class RandomTopologyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomTopologyTest, AnswersMatchBaselineOnRandomDeployments) {
+  RunConfig config;
+  config.topology = TopologyKind::kRandom;
+  config.random_nodes = 24;
+  config.random_side_feet = 120;
+  config.duration_ms = 6 * 12288;
+  config.seed = static_cast<std::uint64_t>(GetParam());
+
+  const auto schedule = StaticSchedule(WorkloadC());
+  config.mode = OptimizationMode::kBaseline;
+  const RunResult baseline = RunExperiment(config, schedule);
+  config.mode = OptimizationMode::kTwoTier;
+  const RunResult optimized = RunExperiment(config, schedule);
+
+  ASSERT_GT(baseline.results.size(), 0u);
+  const auto diff = CompareResultLogs(baseline.results, optimized.results,
+                                      WorkloadC(), 1e-6);
+  EXPECT_FALSE(diff.has_value()) << *diff;
+  EXPECT_LT(optimized.summary.total_transmit_ms,
+            baseline.summary.total_transmit_ms);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTopologyTest, ::testing::Range(1, 6));
+
+TEST(RandomTopologyTest2, RunnerIsDeterministicOnRandomDeployments) {
+  RunConfig config;
+  config.topology = TopologyKind::kRandom;
+  config.random_nodes = 20;
+  config.random_side_feet = 110;
+  config.duration_ms = 4 * 8192;
+  config.seed = 7;
+  const auto schedule = StaticSchedule(WorkloadA());
+  const RunResult a = RunExperiment(config, schedule);
+  const RunResult b = RunExperiment(config, schedule);
+  EXPECT_EQ(a.summary.total_messages, b.summary.total_messages);
+  EXPECT_DOUBLE_EQ(a.summary.total_transmit_ms, b.summary.total_transmit_ms);
+}
+
+}  // namespace
+}  // namespace ttmqo

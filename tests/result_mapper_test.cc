@@ -1,0 +1,119 @@
+// Tests for mapping synthetic-query results back to user queries.
+#include <gtest/gtest.h>
+
+#include "core/bs/result_mapper.h"
+#include "query/parser.h"
+
+namespace ttmqo {
+namespace {
+
+Reading Row(NodeId node, SimTime t, double light, double temp) {
+  Reading r(node, t);
+  r.Set(Attribute::kLight, light);
+  r.Set(Attribute::kTemp, temp);
+  return r;
+}
+
+class ResultMapperTest : public ::testing::Test {
+ protected:
+  // A synthetic acquisition query serving three members.
+  ResultMapperTest()
+      : sq_(Query::Acquisition(
+            1000, {Attribute::kLight, Attribute::kTemp},
+            PredicateSet::Of({{Attribute::kLight, Interval(100, 800)}}),
+            4096)) {
+    sq_.members.emplace(
+        1, ParseQuery(1, "SELECT light WHERE light BETWEEN 100 AND 400 "
+                         "EPOCH DURATION 4096"));
+    sq_.members.emplace(
+        2, ParseQuery(2, "SELECT light, temp WHERE light BETWEEN 300 AND "
+                         "800 EPOCH DURATION 8192"));
+    sq_.members.emplace(
+        3, ParseQuery(3, "SELECT MAX(temp) WHERE light BETWEEN 100 AND 800 "
+                         "EPOCH DURATION 8192"));
+  }
+
+  EpochResult SyntheticResult(SimTime t) {
+    EpochResult r;
+    r.query = 1000;
+    r.epoch_time = t;
+    r.kind = QueryKind::kAcquisition;
+    r.rows = {Row(1, t, 150, 30), Row(2, t, 350, 40), Row(3, t, 700, 10)};
+    return r;
+  }
+
+  SyntheticQuery sq_;
+};
+
+TEST_F(ResultMapperTest, MembersGetReFilteredAndProjected) {
+  const auto mapped = MapSyntheticResult(SyntheticResult(8192), sq_);
+  ASSERT_EQ(mapped.size(), 3u);
+
+  const auto* q1 = &mapped[0];
+  ASSERT_EQ(q1->query, 1u);
+  ASSERT_EQ(q1->rows.size(), 2u);  // light 150 and 350 are in [100,400]
+  EXPECT_EQ(q1->rows[0].node(), 1);
+  EXPECT_EQ(q1->rows[1].node(), 2);
+  // q1 projects only light (+ nodeid) — temp must be stripped.
+  EXPECT_FALSE(q1->rows[0].Has(Attribute::kTemp));
+  EXPECT_TRUE(q1->rows[0].Has(Attribute::kLight));
+
+  const auto* q2 = &mapped[1];
+  ASSERT_EQ(q2->rows.size(), 2u);  // light 350 and 700 in [300,800]
+  EXPECT_TRUE(q2->rows[0].Has(Attribute::kTemp));
+}
+
+TEST_F(ResultMapperTest, AggregationComputedFromRawRows) {
+  const auto mapped = MapSyntheticResult(SyntheticResult(8192), sq_);
+  const auto* q3 = &mapped[2];
+  ASSERT_EQ(q3->query, 3u);
+  ASSERT_EQ(q3->aggregates.size(), 1u);
+  ASSERT_TRUE(q3->aggregates[0].second.has_value());
+  EXPECT_DOUBLE_EQ(*q3->aggregates[0].second, 40.0);  // MAX(temp)
+}
+
+TEST_F(ResultMapperTest, EpochFilteringHonorsMemberEpochs) {
+  // At t = 4096 only the 4096-epoch member fires; the 8192 members wait.
+  const auto mapped = MapSyntheticResult(SyntheticResult(4096), sq_);
+  ASSERT_EQ(mapped.size(), 1u);
+  EXPECT_EQ(mapped[0].query, 1u);
+}
+
+TEST_F(ResultMapperTest, EmptySyntheticRowsYieldEmptyAnswers) {
+  EpochResult empty;
+  empty.query = 1000;
+  empty.epoch_time = 8192;
+  empty.kind = QueryKind::kAcquisition;
+  const auto mapped = MapSyntheticResult(empty, sq_);
+  ASSERT_EQ(mapped.size(), 3u);
+  EXPECT_TRUE(mapped[0].rows.empty());
+  // MAX over the empty set is null.
+  EXPECT_FALSE(mapped[2].aggregates[0].second.has_value());
+}
+
+TEST(ResultMapperAggTest, AggregateSubsetExtraction) {
+  SyntheticQuery sq(Query::Aggregation(
+      1000,
+      {AggregateSpec{AggregateOp::kMax, Attribute::kLight},
+       AggregateSpec{AggregateOp::kMin, Attribute::kLight}},
+      PredicateSet::Of({{Attribute::kTemp, Interval(0, 50)}}), 4096));
+  sq.members.emplace(
+      1, ParseQuery(1, "SELECT MIN(light) WHERE temp <= 50 "
+                       "EPOCH DURATION 8192"));
+  EpochResult synthetic;
+  synthetic.query = 1000;
+  synthetic.epoch_time = 8192;
+  synthetic.kind = QueryKind::kAggregation;
+  synthetic.aggregates = {
+      {AggregateSpec{AggregateOp::kMax, Attribute::kLight}, 900.0},
+      {AggregateSpec{AggregateOp::kMin, Attribute::kLight}, 50.0},
+  };
+  const auto mapped = MapSyntheticResult(synthetic, sq);
+  ASSERT_EQ(mapped.size(), 1u);
+  ASSERT_EQ(mapped[0].aggregates.size(), 1u);
+  EXPECT_EQ(mapped[0].aggregates[0].first.op, AggregateOp::kMin);
+  EXPECT_DOUBLE_EQ(*mapped[0].aggregates[0].second, 50.0);
+}
+
+}  // namespace
+}  // namespace ttmqo

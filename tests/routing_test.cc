@@ -1,0 +1,111 @@
+// Unit tests for the routing tree and the DAG level graph.
+#include <gtest/gtest.h>
+
+#include "routing/routing_tree.h"
+
+namespace ttmqo {
+namespace {
+
+class RoutingTest : public ::testing::Test {
+ protected:
+  RoutingTest()
+      : topology_(Topology::Grid(4)),
+        quality_(topology_, 13),
+        tree_(topology_, quality_) {}
+
+  Topology topology_;
+  LinkQualityMap quality_;
+  RoutingTree tree_;
+};
+
+TEST_F(RoutingTest, ParentsAreOneLevelCloser) {
+  for (NodeId n = 1; n < topology_.size(); ++n) {
+    const NodeId parent = tree_.ParentOf(n);
+    EXPECT_TRUE(topology_.AreNeighbors(n, parent));
+    EXPECT_EQ(topology_.HopLevels()[parent] + 1, topology_.HopLevels()[n]);
+    EXPECT_EQ(tree_.DepthOf(n), topology_.HopLevels()[n]);
+  }
+  EXPECT_EQ(tree_.ParentOf(kBaseStationId), kBaseStationId);
+}
+
+TEST_F(RoutingTest, ParentMaximizesLinkQuality) {
+  for (NodeId n = 1; n < topology_.size(); ++n) {
+    const NodeId parent = tree_.ParentOf(n);
+    const double chosen = quality_.Quality(n, parent);
+    for (NodeId other : topology_.NeighborsOf(n)) {
+      if (topology_.HopLevels()[other] + 1 != topology_.HopLevels()[n]) {
+        continue;
+      }
+      EXPECT_GE(chosen, quality_.Quality(n, other));
+    }
+  }
+}
+
+TEST_F(RoutingTest, ChildrenInverseOfParents) {
+  std::size_t edges = 0;
+  for (NodeId n = 0; n < topology_.size(); ++n) {
+    for (NodeId child : tree_.ChildrenOf(n)) {
+      EXPECT_EQ(tree_.ParentOf(child), n);
+      ++edges;
+    }
+  }
+  EXPECT_EQ(edges, topology_.size() - 1);  // spanning tree
+}
+
+TEST_F(RoutingTest, EveryPathReachesTheBaseStation) {
+  for (NodeId n = 0; n < topology_.size(); ++n) {
+    NodeId cur = n;
+    std::size_t hops = 0;
+    while (cur != kBaseStationId) {
+      cur = tree_.ParentOf(cur);
+      ASSERT_LE(++hops, topology_.size());
+    }
+    EXPECT_EQ(hops, tree_.DepthOf(n));
+  }
+}
+
+TEST_F(RoutingTest, AverageDepthMatchesHandComputation) {
+  double sum = 0;
+  for (NodeId n = 1; n < topology_.size(); ++n) {
+    sum += static_cast<double>(tree_.DepthOf(n));
+  }
+  EXPECT_DOUBLE_EQ(tree_.AverageDepth(),
+                   sum / static_cast<double>(topology_.size() - 1));
+}
+
+TEST_F(RoutingTest, BottomUpOrderVisitsDeeperNodesFirst) {
+  const auto& order = tree_.BottomUpOrder();
+  ASSERT_EQ(order.size(), topology_.size());
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_GE(tree_.DepthOf(order[i - 1]), tree_.DepthOf(order[i]));
+  }
+}
+
+TEST_F(RoutingTest, LevelGraphUpperAndLowerNeighbors) {
+  const LevelGraph graph(topology_);
+  for (NodeId n = 0; n < topology_.size(); ++n) {
+    if (n != kBaseStationId) {
+      EXPECT_FALSE(graph.UpperNeighbors(n).empty())
+          << "node " << n << " must have a parent candidate";
+    }
+    for (NodeId upper : graph.UpperNeighbors(n)) {
+      EXPECT_EQ(graph.LevelOf(upper) + 1, graph.LevelOf(n));
+      EXPECT_TRUE(topology_.AreNeighbors(n, upper));
+      // Symmetry: we are a lower neighbor of our upper neighbor.
+      const auto& lower = graph.LowerNeighbors(upper);
+      EXPECT_NE(std::find(lower.begin(), lower.end(), n), lower.end());
+    }
+  }
+}
+
+TEST_F(RoutingTest, TreeParentIsAlwaysAnUpperNeighbor) {
+  const LevelGraph graph(topology_);
+  for (NodeId n = 1; n < topology_.size(); ++n) {
+    const auto& upper = graph.UpperNeighbors(n);
+    EXPECT_NE(std::find(upper.begin(), upper.end(), tree_.ParentOf(n)),
+              upper.end());
+  }
+}
+
+}  // namespace
+}  // namespace ttmqo

@@ -1,0 +1,156 @@
+// End-to-end tests of the TinyDB baseline engine against the field oracle.
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+#include "test_helpers.h"
+#include "tinydb/tinydb_engine.h"
+
+namespace ttmqo {
+namespace {
+
+using ::ttmqo::testing::FillOracle;
+
+class TinyDbEngineTest : public ::testing::Test {
+ protected:
+  TinyDbEngineTest()
+      : topology_(Topology::Grid(4)),
+        network_(topology_, RadioParams{}, ChannelParams{}, 42),
+        field_(7) {}
+
+  void RunWith(const std::vector<Query>& queries, SimTime until) {
+    TinyDbEngine engine(network_, field_, &log_);
+    for (const Query& q : queries) engine.SubmitQuery(q);
+    network_.sim().RunUntil(until);
+  }
+
+  Topology topology_;
+  Network network_;
+  UniformFieldModel field_;
+  ResultLog log_;
+};
+
+TEST_F(TinyDbEngineTest, AcquisitionMatchesOracle) {
+  const Query q = ParseQuery(
+      1, "SELECT light WHERE light > 300 EPOCH DURATION 4096");
+  RunWith({q}, 10 * 4096);
+  ResultLog oracle;
+  FillOracle(oracle, q, 10 * 4096, field_, topology_);
+  EXPECT_GT(log_.size(), 0u);
+  const auto diff = CompareResultLogs(oracle, log_, {q});
+  EXPECT_FALSE(diff.has_value()) << *diff;
+}
+
+TEST_F(TinyDbEngineTest, AggregationMatchesOracle) {
+  const Query q = ParseQuery(
+      2, "SELECT MAX(light), MIN(temp), AVG(light) EPOCH DURATION 4096");
+  RunWith({q}, 10 * 4096);
+  ResultLog oracle;
+  FillOracle(oracle, q, 10 * 4096, field_, topology_);
+  const auto diff = CompareResultLogs(oracle, log_, {q});
+  EXPECT_FALSE(diff.has_value()) << *diff;
+}
+
+TEST_F(TinyDbEngineTest, AggregationWithPredicateMatchesOracle) {
+  const Query q = ParseQuery(
+      3,
+      "SELECT MAX(light) WHERE temp BETWEEN 20 AND 80 EPOCH DURATION 8192");
+  RunWith({q}, 8 * 8192);
+  ResultLog oracle;
+  FillOracle(oracle, q, 8 * 8192, field_, topology_);
+  const auto diff = CompareResultLogs(oracle, log_, {q});
+  EXPECT_FALSE(diff.has_value()) << *diff;
+}
+
+TEST_F(TinyDbEngineTest, UnselectiveQueryReturnsAllSensorRows) {
+  const Query q = ParseQuery(4, "SELECT light EPOCH DURATION 4096");
+  RunWith({q}, 3 * 4096);
+  const EpochResult* first = log_.Find(4, 4096);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->rows.size(), topology_.size() - 1);  // all but the BS
+}
+
+TEST_F(TinyDbEngineTest, ConcurrentQueriesAreIndependent) {
+  const Query a = ParseQuery(1, "SELECT light EPOCH DURATION 4096");
+  const Query b =
+      ParseQuery(2, "SELECT MAX(temp) EPOCH DURATION 8192");
+  RunWith({a, b}, 6 * 8192);
+  ResultLog oracle;
+  FillOracle(oracle, a, 6 * 8192, field_, topology_);
+  FillOracle(oracle, b, 6 * 8192, field_, topology_);
+  const auto diff = CompareResultLogs(oracle, log_, {a, b});
+  EXPECT_FALSE(diff.has_value()) << *diff;
+}
+
+TEST_F(TinyDbEngineTest, TerminationStopsResultsAndCleansUp) {
+  const Query q = ParseQuery(1, "SELECT light EPOCH DURATION 4096");
+  TinyDbEngine engine(network_, field_, &log_);
+  engine.SubmitQuery(q);
+  network_.sim().ScheduleAt(5 * 4096 + 100,
+                            [&] { engine.TerminateQuery(1); });
+  network_.sim().RunUntil(10 * 4096);
+  // Epochs 1..4 closed (epoch t closes at t+4096 <= termination time).
+  EXPECT_NE(log_.Find(1, 4 * 4096), nullptr);
+  EXPECT_EQ(log_.Find(1, 6 * 4096), nullptr);
+  EXPECT_TRUE(engine.ActiveQueries().empty());
+  // The abort flood reached the network.
+  EXPECT_GT(network_.ledger().TotalSent(MessageClass::kQueryAbort), 0u);
+}
+
+TEST_F(TinyDbEngineTest, DuplicateOrUnknownIdsRejected) {
+  const Query q = ParseQuery(1, "SELECT light EPOCH DURATION 4096");
+  TinyDbEngine engine(network_, field_, &log_);
+  engine.SubmitQuery(q);
+  EXPECT_THROW(engine.SubmitQuery(q), std::invalid_argument);
+  EXPECT_THROW(engine.TerminateQuery(99), std::invalid_argument);
+}
+
+TEST_F(TinyDbEngineTest, EachQueryPaysItsOwnTraffic) {
+  // Two identical queries double the result traffic: the defining weakness
+  // of the baseline that TTMQO removes.
+  const Query a = ParseQuery(1, "SELECT light EPOCH DURATION 4096");
+  RunWith({a}, 8 * 4096);
+  const auto solo = network_.ledger().TotalSent(MessageClass::kResult);
+
+  Network network2(topology_, RadioParams{}, ChannelParams{}, 42);
+  ResultLog log2;
+  TinyDbEngine engine2(network2, field_, &log2);
+  engine2.SubmitQuery(ParseQuery(1, "SELECT light EPOCH DURATION 4096"));
+  engine2.SubmitQuery(ParseQuery(2, "SELECT light EPOCH DURATION 4096"));
+  network2.sim().RunUntil(8 * 4096);
+  const auto duo = network2.ledger().TotalSent(MessageClass::kResult);
+  EXPECT_EQ(duo, 2 * solo);
+}
+
+TEST_F(TinyDbEngineTest, ResultTrafficScalesWithSelectivity) {
+  const Query narrow = ParseQuery(
+      1, "SELECT light WHERE light < 200 EPOCH DURATION 4096");
+  RunWith({narrow}, 8 * 4096);
+  const auto narrow_msgs = network_.ledger().TotalSent(MessageClass::kResult);
+
+  Network network2(topology_, RadioParams{}, ChannelParams{}, 42);
+  ResultLog log2;
+  TinyDbEngine engine2(network2, field_, &log2);
+  engine2.SubmitQuery(ParseQuery(2, "SELECT light EPOCH DURATION 4096"));
+  network2.sim().RunUntil(8 * 4096);
+  const auto full_msgs = network2.ledger().TotalSent(MessageClass::kResult);
+  EXPECT_LT(narrow_msgs, full_msgs);
+}
+
+TEST_F(TinyDbEngineTest, InNetworkAggregationReducesMessagesVsAcquisition) {
+  const Query agg = ParseQuery(1, "SELECT MAX(light) EPOCH DURATION 4096");
+  RunWith({agg}, 8 * 4096);
+  const auto agg_msgs = network_.ledger().TotalSent(MessageClass::kResult);
+
+  Network network2(topology_, RadioParams{}, ChannelParams{}, 42);
+  ResultLog log2;
+  TinyDbEngine engine2(network2, field_, &log2);
+  engine2.SubmitQuery(ParseQuery(2, "SELECT light EPOCH DURATION 4096"));
+  network2.sim().RunUntil(8 * 4096);
+  const auto acq_msgs = network2.ledger().TotalSent(MessageClass::kResult);
+  // TAG partial aggregation: at most one result message per node per epoch,
+  // while acquisition relays every row hop by hop.
+  EXPECT_LT(agg_msgs, acq_msgs);
+}
+
+}  // namespace
+}  // namespace ttmqo

@@ -1,0 +1,21 @@
+// Compile-and-smoke test of the umbrella header.
+#include "ttmqo.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(UmbrellaTest, HeaderCompilesAndApiIsReachable) {
+  const ttmqo::Topology topology = ttmqo::Topology::Grid(3);
+  ttmqo::Network network(topology, {}, {}, 1);
+  ttmqo::UniformFieldModel field(1);
+  ttmqo::ResultLog results;
+  ttmqo::TtmqoOptions options;
+  options.mode = ttmqo::OptimizationMode::kTwoTier;
+  ttmqo::TtmqoEngine engine(network, field, &results, options);
+  engine.SubmitQuery(ttmqo::ParseQuery(1, "SELECT light EPOCH DURATION 2048"));
+  network.sim().RunUntil(3 * 2048);
+  EXPECT_GT(results.size(), 0u);
+}
+
+}  // namespace
