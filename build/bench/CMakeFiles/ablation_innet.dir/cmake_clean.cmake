@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_innet.dir/ablation_innet.cc.o"
+  "CMakeFiles/ablation_innet.dir/ablation_innet.cc.o.d"
+  "ablation_innet"
+  "ablation_innet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_innet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_workloads.dir/fig3_workloads.cc.o"
+  "CMakeFiles/fig3_workloads.dir/fig3_workloads.cc.o.d"
+  "fig3_workloads"
+  "fig3_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

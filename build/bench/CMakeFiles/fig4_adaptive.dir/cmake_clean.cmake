@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_adaptive.dir/fig4_adaptive.cc.o"
+  "CMakeFiles/fig4_adaptive.dir/fig4_adaptive.cc.o.d"
+  "fig4_adaptive"
+  "fig4_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_bs_opt.dir/micro_bs_opt.cc.o"
+  "CMakeFiles/micro_bs_opt.dir/micro_bs_opt.cc.o.d"
+  "micro_bs_opt"
+  "micro_bs_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_bs_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for building_hvac.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/environment_monitoring.dir/environment_monitoring.cc.o"
+  "CMakeFiles/environment_monitoring.dir/environment_monitoring.cc.o.d"
+  "environment_monitoring"
+  "environment_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/environment_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bs/cost_model.cc" "src/core/CMakeFiles/ttmqo_core.dir/bs/cost_model.cc.o" "gcc" "src/core/CMakeFiles/ttmqo_core.dir/bs/cost_model.cc.o.d"
+  "/root/repo/src/core/bs/integration.cc" "src/core/CMakeFiles/ttmqo_core.dir/bs/integration.cc.o" "gcc" "src/core/CMakeFiles/ttmqo_core.dir/bs/integration.cc.o.d"
+  "/root/repo/src/core/bs/result_mapper.cc" "src/core/CMakeFiles/ttmqo_core.dir/bs/result_mapper.cc.o" "gcc" "src/core/CMakeFiles/ttmqo_core.dir/bs/result_mapper.cc.o.d"
+  "/root/repo/src/core/bs/rewriter.cc" "src/core/CMakeFiles/ttmqo_core.dir/bs/rewriter.cc.o" "gcc" "src/core/CMakeFiles/ttmqo_core.dir/bs/rewriter.cc.o.d"
+  "/root/repo/src/core/innet/innet_engine.cc" "src/core/CMakeFiles/ttmqo_core.dir/innet/innet_engine.cc.o" "gcc" "src/core/CMakeFiles/ttmqo_core.dir/innet/innet_engine.cc.o.d"
+  "/root/repo/src/core/innet/payloads.cc" "src/core/CMakeFiles/ttmqo_core.dir/innet/payloads.cc.o" "gcc" "src/core/CMakeFiles/ttmqo_core.dir/innet/payloads.cc.o.d"
+  "/root/repo/src/core/ttmqo_engine.cc" "src/core/CMakeFiles/ttmqo_core.dir/ttmqo_engine.cc.o" "gcc" "src/core/CMakeFiles/ttmqo_core.dir/ttmqo_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tinydb/CMakeFiles/ttmqo_tinydb.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/ttmqo_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ttmqo_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ttmqo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/ttmqo_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensing/CMakeFiles/ttmqo_sensing.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ttmqo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

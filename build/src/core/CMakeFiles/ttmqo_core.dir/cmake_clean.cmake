@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttmqo_core.dir/bs/cost_model.cc.o"
+  "CMakeFiles/ttmqo_core.dir/bs/cost_model.cc.o.d"
+  "CMakeFiles/ttmqo_core.dir/bs/integration.cc.o"
+  "CMakeFiles/ttmqo_core.dir/bs/integration.cc.o.d"
+  "CMakeFiles/ttmqo_core.dir/bs/result_mapper.cc.o"
+  "CMakeFiles/ttmqo_core.dir/bs/result_mapper.cc.o.d"
+  "CMakeFiles/ttmqo_core.dir/bs/rewriter.cc.o"
+  "CMakeFiles/ttmqo_core.dir/bs/rewriter.cc.o.d"
+  "CMakeFiles/ttmqo_core.dir/innet/innet_engine.cc.o"
+  "CMakeFiles/ttmqo_core.dir/innet/innet_engine.cc.o.d"
+  "CMakeFiles/ttmqo_core.dir/innet/payloads.cc.o"
+  "CMakeFiles/ttmqo_core.dir/innet/payloads.cc.o.d"
+  "CMakeFiles/ttmqo_core.dir/ttmqo_engine.cc.o"
+  "CMakeFiles/ttmqo_core.dir/ttmqo_engine.cc.o.d"
+  "libttmqo_core.a"
+  "libttmqo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttmqo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

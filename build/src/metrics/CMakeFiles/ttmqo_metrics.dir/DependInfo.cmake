@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/csv.cc" "src/metrics/CMakeFiles/ttmqo_metrics.dir/csv.cc.o" "gcc" "src/metrics/CMakeFiles/ttmqo_metrics.dir/csv.cc.o.d"
+  "/root/repo/src/metrics/energy.cc" "src/metrics/CMakeFiles/ttmqo_metrics.dir/energy.cc.o" "gcc" "src/metrics/CMakeFiles/ttmqo_metrics.dir/energy.cc.o.d"
+  "/root/repo/src/metrics/run_summary.cc" "src/metrics/CMakeFiles/ttmqo_metrics.dir/run_summary.cc.o" "gcc" "src/metrics/CMakeFiles/ttmqo_metrics.dir/run_summary.cc.o.d"
+  "/root/repo/src/metrics/table.cc" "src/metrics/CMakeFiles/ttmqo_metrics.dir/table.cc.o" "gcc" "src/metrics/CMakeFiles/ttmqo_metrics.dir/table.cc.o.d"
+  "/root/repo/src/metrics/trace.cc" "src/metrics/CMakeFiles/ttmqo_metrics.dir/trace.cc.o" "gcc" "src/metrics/CMakeFiles/ttmqo_metrics.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ttmqo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ttmqo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

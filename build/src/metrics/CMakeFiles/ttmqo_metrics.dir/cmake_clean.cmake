@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttmqo_metrics.dir/csv.cc.o"
+  "CMakeFiles/ttmqo_metrics.dir/csv.cc.o.d"
+  "CMakeFiles/ttmqo_metrics.dir/energy.cc.o"
+  "CMakeFiles/ttmqo_metrics.dir/energy.cc.o.d"
+  "CMakeFiles/ttmqo_metrics.dir/run_summary.cc.o"
+  "CMakeFiles/ttmqo_metrics.dir/run_summary.cc.o.d"
+  "CMakeFiles/ttmqo_metrics.dir/table.cc.o"
+  "CMakeFiles/ttmqo_metrics.dir/table.cc.o.d"
+  "CMakeFiles/ttmqo_metrics.dir/trace.cc.o"
+  "CMakeFiles/ttmqo_metrics.dir/trace.cc.o.d"
+  "libttmqo_metrics.a"
+  "libttmqo_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttmqo_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/ledger.cc" "src/net/CMakeFiles/ttmqo_net.dir/ledger.cc.o" "gcc" "src/net/CMakeFiles/ttmqo_net.dir/ledger.cc.o.d"
+  "/root/repo/src/net/link_quality.cc" "src/net/CMakeFiles/ttmqo_net.dir/link_quality.cc.o" "gcc" "src/net/CMakeFiles/ttmqo_net.dir/link_quality.cc.o.d"
+  "/root/repo/src/net/message.cc" "src/net/CMakeFiles/ttmqo_net.dir/message.cc.o" "gcc" "src/net/CMakeFiles/ttmqo_net.dir/message.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/net/CMakeFiles/ttmqo_net.dir/network.cc.o" "gcc" "src/net/CMakeFiles/ttmqo_net.dir/network.cc.o.d"
+  "/root/repo/src/net/simulator.cc" "src/net/CMakeFiles/ttmqo_net.dir/simulator.cc.o" "gcc" "src/net/CMakeFiles/ttmqo_net.dir/simulator.cc.o.d"
+  "/root/repo/src/net/topology.cc" "src/net/CMakeFiles/ttmqo_net.dir/topology.cc.o" "gcc" "src/net/CMakeFiles/ttmqo_net.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ttmqo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

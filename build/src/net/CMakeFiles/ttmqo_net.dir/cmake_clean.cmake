@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttmqo_net.dir/ledger.cc.o"
+  "CMakeFiles/ttmqo_net.dir/ledger.cc.o.d"
+  "CMakeFiles/ttmqo_net.dir/link_quality.cc.o"
+  "CMakeFiles/ttmqo_net.dir/link_quality.cc.o.d"
+  "CMakeFiles/ttmqo_net.dir/message.cc.o"
+  "CMakeFiles/ttmqo_net.dir/message.cc.o.d"
+  "CMakeFiles/ttmqo_net.dir/network.cc.o"
+  "CMakeFiles/ttmqo_net.dir/network.cc.o.d"
+  "CMakeFiles/ttmqo_net.dir/simulator.cc.o"
+  "CMakeFiles/ttmqo_net.dir/simulator.cc.o.d"
+  "CMakeFiles/ttmqo_net.dir/topology.cc.o"
+  "CMakeFiles/ttmqo_net.dir/topology.cc.o.d"
+  "libttmqo_net.a"
+  "libttmqo_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttmqo_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

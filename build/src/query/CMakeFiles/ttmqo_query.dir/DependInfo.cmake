@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/aggregate.cc" "src/query/CMakeFiles/ttmqo_query.dir/aggregate.cc.o" "gcc" "src/query/CMakeFiles/ttmqo_query.dir/aggregate.cc.o.d"
+  "/root/repo/src/query/engine.cc" "src/query/CMakeFiles/ttmqo_query.dir/engine.cc.o" "gcc" "src/query/CMakeFiles/ttmqo_query.dir/engine.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/query/CMakeFiles/ttmqo_query.dir/parser.cc.o" "gcc" "src/query/CMakeFiles/ttmqo_query.dir/parser.cc.o.d"
+  "/root/repo/src/query/predicate.cc" "src/query/CMakeFiles/ttmqo_query.dir/predicate.cc.o" "gcc" "src/query/CMakeFiles/ttmqo_query.dir/predicate.cc.o.d"
+  "/root/repo/src/query/query.cc" "src/query/CMakeFiles/ttmqo_query.dir/query.cc.o" "gcc" "src/query/CMakeFiles/ttmqo_query.dir/query.cc.o.d"
+  "/root/repo/src/query/result.cc" "src/query/CMakeFiles/ttmqo_query.dir/result.cc.o" "gcc" "src/query/CMakeFiles/ttmqo_query.dir/result.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sensing/CMakeFiles/ttmqo_sensing.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ttmqo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttmqo_query.dir/aggregate.cc.o"
+  "CMakeFiles/ttmqo_query.dir/aggregate.cc.o.d"
+  "CMakeFiles/ttmqo_query.dir/engine.cc.o"
+  "CMakeFiles/ttmqo_query.dir/engine.cc.o.d"
+  "CMakeFiles/ttmqo_query.dir/parser.cc.o"
+  "CMakeFiles/ttmqo_query.dir/parser.cc.o.d"
+  "CMakeFiles/ttmqo_query.dir/predicate.cc.o"
+  "CMakeFiles/ttmqo_query.dir/predicate.cc.o.d"
+  "CMakeFiles/ttmqo_query.dir/query.cc.o"
+  "CMakeFiles/ttmqo_query.dir/query.cc.o.d"
+  "CMakeFiles/ttmqo_query.dir/result.cc.o"
+  "CMakeFiles/ttmqo_query.dir/result.cc.o.d"
+  "libttmqo_query.a"
+  "libttmqo_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttmqo_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/routing_tree.cc" "src/routing/CMakeFiles/ttmqo_routing.dir/routing_tree.cc.o" "gcc" "src/routing/CMakeFiles/ttmqo_routing.dir/routing_tree.cc.o.d"
+  "/root/repo/src/routing/semantic_tree.cc" "src/routing/CMakeFiles/ttmqo_routing.dir/semantic_tree.cc.o" "gcc" "src/routing/CMakeFiles/ttmqo_routing.dir/semantic_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ttmqo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ttmqo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

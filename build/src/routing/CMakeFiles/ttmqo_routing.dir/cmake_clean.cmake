@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttmqo_routing.dir/routing_tree.cc.o"
+  "CMakeFiles/ttmqo_routing.dir/routing_tree.cc.o.d"
+  "CMakeFiles/ttmqo_routing.dir/semantic_tree.cc.o"
+  "CMakeFiles/ttmqo_routing.dir/semantic_tree.cc.o.d"
+  "libttmqo_routing.a"
+  "libttmqo_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttmqo_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

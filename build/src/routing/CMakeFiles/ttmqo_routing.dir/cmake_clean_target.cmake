@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libttmqo_routing.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sensing/attribute.cc" "src/sensing/CMakeFiles/ttmqo_sensing.dir/attribute.cc.o" "gcc" "src/sensing/CMakeFiles/ttmqo_sensing.dir/attribute.cc.o.d"
+  "/root/repo/src/sensing/field_model.cc" "src/sensing/CMakeFiles/ttmqo_sensing.dir/field_model.cc.o" "gcc" "src/sensing/CMakeFiles/ttmqo_sensing.dir/field_model.cc.o.d"
+  "/root/repo/src/sensing/reading.cc" "src/sensing/CMakeFiles/ttmqo_sensing.dir/reading.cc.o" "gcc" "src/sensing/CMakeFiles/ttmqo_sensing.dir/reading.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ttmqo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttmqo_sensing.dir/attribute.cc.o"
+  "CMakeFiles/ttmqo_sensing.dir/attribute.cc.o.d"
+  "CMakeFiles/ttmqo_sensing.dir/field_model.cc.o"
+  "CMakeFiles/ttmqo_sensing.dir/field_model.cc.o.d"
+  "CMakeFiles/ttmqo_sensing.dir/reading.cc.o"
+  "CMakeFiles/ttmqo_sensing.dir/reading.cc.o.d"
+  "libttmqo_sensing.a"
+  "libttmqo_sensing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttmqo_sensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

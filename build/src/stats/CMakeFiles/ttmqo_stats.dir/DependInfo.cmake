@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/histogram.cc" "src/stats/CMakeFiles/ttmqo_stats.dir/histogram.cc.o" "gcc" "src/stats/CMakeFiles/ttmqo_stats.dir/histogram.cc.o.d"
+  "/root/repo/src/stats/selectivity.cc" "src/stats/CMakeFiles/ttmqo_stats.dir/selectivity.cc.o" "gcc" "src/stats/CMakeFiles/ttmqo_stats.dir/selectivity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/ttmqo_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensing/CMakeFiles/ttmqo_sensing.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ttmqo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttmqo_stats.dir/histogram.cc.o"
+  "CMakeFiles/ttmqo_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/ttmqo_stats.dir/selectivity.cc.o"
+  "CMakeFiles/ttmqo_stats.dir/selectivity.cc.o.d"
+  "libttmqo_stats.a"
+  "libttmqo_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttmqo_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

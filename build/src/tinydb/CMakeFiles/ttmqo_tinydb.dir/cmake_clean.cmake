@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttmqo_tinydb.dir/tinydb_engine.cc.o"
+  "CMakeFiles/ttmqo_tinydb.dir/tinydb_engine.cc.o.d"
+  "libttmqo_tinydb.a"
+  "libttmqo_tinydb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttmqo_tinydb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

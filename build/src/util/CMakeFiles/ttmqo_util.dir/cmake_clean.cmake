@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttmqo_util.dir/flags.cc.o"
+  "CMakeFiles/ttmqo_util.dir/flags.cc.o.d"
+  "CMakeFiles/ttmqo_util.dir/interval.cc.o"
+  "CMakeFiles/ttmqo_util.dir/interval.cc.o.d"
+  "CMakeFiles/ttmqo_util.dir/logging.cc.o"
+  "CMakeFiles/ttmqo_util.dir/logging.cc.o.d"
+  "CMakeFiles/ttmqo_util.dir/mathx.cc.o"
+  "CMakeFiles/ttmqo_util.dir/mathx.cc.o.d"
+  "CMakeFiles/ttmqo_util.dir/rng.cc.o"
+  "CMakeFiles/ttmqo_util.dir/rng.cc.o.d"
+  "CMakeFiles/ttmqo_util.dir/time.cc.o"
+  "CMakeFiles/ttmqo_util.dir/time.cc.o.d"
+  "libttmqo_util.a"
+  "libttmqo_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttmqo_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

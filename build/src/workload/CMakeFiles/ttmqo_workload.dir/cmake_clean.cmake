@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttmqo_workload.dir/generator.cc.o"
+  "CMakeFiles/ttmqo_workload.dir/generator.cc.o.d"
+  "CMakeFiles/ttmqo_workload.dir/runner.cc.o"
+  "CMakeFiles/ttmqo_workload.dir/runner.cc.o.d"
+  "CMakeFiles/ttmqo_workload.dir/static_workloads.cc.o"
+  "CMakeFiles/ttmqo_workload.dir/static_workloads.cc.o.d"
+  "libttmqo_workload.a"
+  "libttmqo_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttmqo_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bs_optimizer_test.dir/bs_optimizer_test.cc.o"
+  "CMakeFiles/bs_optimizer_test.dir/bs_optimizer_test.cc.o.d"
+  "bs_optimizer_test"
+  "bs_optimizer_test.pdb"
+  "bs_optimizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bs_optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_oracle_test.dir/dynamic_oracle_test.cc.o"
+  "CMakeFiles/dynamic_oracle_test.dir/dynamic_oracle_test.cc.o.d"
+  "dynamic_oracle_test"
+  "dynamic_oracle_test.pdb"
+  "dynamic_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

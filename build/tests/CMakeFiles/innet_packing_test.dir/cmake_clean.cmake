@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/innet_packing_test.dir/innet_packing_test.cc.o"
+  "CMakeFiles/innet_packing_test.dir/innet_packing_test.cc.o.d"
+  "innet_packing_test"
+  "innet_packing_test.pdb"
+  "innet_packing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/innet_packing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/innet_test.dir/innet_test.cc.o"
+  "CMakeFiles/innet_test.dir/innet_test.cc.o.d"
+  "innet_test"
+  "innet_test.pdb"
+  "innet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/innet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learned_stats_test.dir/learned_stats_test.cc.o"
+  "CMakeFiles/learned_stats_test.dir/learned_stats_test.cc.o.d"
+  "learned_stats_test"
+  "learned_stats_test.pdb"
+  "learned_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learned_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

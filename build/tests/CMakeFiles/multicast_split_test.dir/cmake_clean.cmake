@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicast_split_test.dir/multicast_split_test.cc.o"
+  "CMakeFiles/multicast_split_test.dir/multicast_split_test.cc.o.d"
+  "multicast_split_test"
+  "multicast_split_test.pdb"
+  "multicast_split_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicast_split_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/random_topology_test.cc" "tests/CMakeFiles/random_topology_test.dir/random_topology_test.cc.o" "gcc" "tests/CMakeFiles/random_topology_test.dir/random_topology_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/ttmqo_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ttmqo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tinydb/CMakeFiles/ttmqo_tinydb.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ttmqo_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/ttmqo_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ttmqo_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ttmqo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/ttmqo_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensing/CMakeFiles/ttmqo_sensing.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ttmqo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_query_test.dir/region_query_test.cc.o"
+  "CMakeFiles/region_query_test.dir/region_query_test.cc.o.d"
+  "region_query_test"
+  "region_query_test.pdb"
+  "region_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/result_mapper_test.dir/result_mapper_test.cc.o"
+  "CMakeFiles/result_mapper_test.dir/result_mapper_test.cc.o.d"
+  "result_mapper_test"
+  "result_mapper_test.pdb"
+  "result_mapper_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/result_mapper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semantic_tree_test.dir/semantic_tree_test.cc.o"
+  "CMakeFiles/semantic_tree_test.dir/semantic_tree_test.cc.o.d"
+  "semantic_tree_test"
+  "semantic_tree_test.pdb"
+  "semantic_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semantic_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

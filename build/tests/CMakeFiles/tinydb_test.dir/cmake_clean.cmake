@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tinydb_test.dir/tinydb_test.cc.o"
+  "CMakeFiles/tinydb_test.dir/tinydb_test.cc.o.d"
+  "tinydb_test"
+  "tinydb_test.pdb"
+  "tinydb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tinydb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttmqo_engine_test.dir/ttmqo_engine_test.cc.o"
+  "CMakeFiles/ttmqo_engine_test.dir/ttmqo_engine_test.cc.o.d"
+  "ttmqo_engine_test"
+  "ttmqo_engine_test.pdb"
+  "ttmqo_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttmqo_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
