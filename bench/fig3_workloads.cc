@@ -19,10 +19,15 @@
 // scheme the more it pays.  Pass --collisions=0 for a lossless channel.
 //
 // Usage: fig3_workloads [--duration-ms=N] [--seed=N] [--collisions=P]
+//                       [--metrics-out=fig3.json] [--trace-out=fig3.jsonl]
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <memory>
 
+#include "metrics/registry.h"
 #include "metrics/table.h"
+#include "metrics/trace.h"
 #include "util/flags.h"
 #include "workload/runner.h"
 #include "workload/static_workloads.h"
@@ -35,9 +40,23 @@ int Main(int argc, char** argv) {
   const SimDuration duration = flags.GetInt("duration-ms", 40 * 12288);
   const std::uint64_t seed = static_cast<std::uint64_t>(flags.GetInt("seed", 99));
   const double collisions = flags.GetDouble("collisions", 0.02);
+  const auto metrics_out = flags.GetOptional("metrics-out");
+  const auto trace_out = flags.GetOptional("trace-out");
   for (const std::string& unread : flags.UnreadFlags()) {
     std::fprintf(stderr, "unknown flag --%s\n", unread.c_str());
     return 2;
+  }
+
+  MetricsRegistry registry;
+  std::ofstream trace_file;
+  std::unique_ptr<JsonlTraceWriter> trace_writer;
+  if (trace_out.has_value()) {
+    trace_file.open(*trace_out);
+    if (!trace_file) {
+      std::fprintf(stderr, "cannot open %s\n", trace_out->c_str());
+      return 1;
+    }
+    trace_writer = std::make_unique<JsonlTraceWriter>(trace_file);
   }
 
   std::printf("Figure 3: average transmission time (%% of time transmitting "
@@ -63,6 +82,16 @@ int Main(int argc, char** argv) {
         config.duration_ms = duration;
         config.seed = seed;
         config.channel.collision_prob = collisions;
+        if (metrics_out.has_value()) {
+          config.obs.registry = &registry;
+          config.obs.labels = {
+              {"nodes", std::to_string(side * side)},
+              {"workload", workload},
+              {"mode", std::string(OptimizationModeName(mode))}};
+        }
+        if (trace_writer != nullptr) {
+          config.obs.trace = trace_writer.get();
+        }
         const RunResult run = RunExperiment(config, schedule);
         fractions[i++] = run.summary.avg_transmission_fraction * 100.0;
       }
@@ -78,6 +107,22 @@ int Main(int argc, char** argv) {
     std::printf("--- %zu nodes (%zux%zu grid) ---\n", side * side, side, side);
     table.Print(std::cout);
     std::printf("\n");
+  }
+  if (metrics_out.has_value()) {
+    std::ofstream out(*metrics_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", metrics_out->c_str());
+      return 1;
+    }
+    registry.WriteJson(out);
+    out << "\n";
+    std::printf("wrote metrics JSON to %s\n", metrics_out->c_str());
+  }
+  if (trace_writer != nullptr) {
+    trace_writer->Flush();
+    std::printf("wrote %llu trace events to %s\n",
+                static_cast<unsigned long long>(trace_writer->events()),
+                trace_out->c_str());
   }
   return 0;
 }

@@ -17,11 +17,19 @@
 // directly with time-weighted sampling between workload events.
 //
 // Usage: fig4_adaptive [--part=a|b|c|all] [--queries=N] [--seed=N]
+//                      [--trace-out=fig4.jsonl]
+//
+// --trace-out captures the tier-1 decision trace (tier1.insert /
+// tier1.terminate / tier1.benefit_estimate) of the first replay executed —
+// with the default --part=all that is the alpha=0.6 run of part (a).
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "core/bs/rewriter.h"
 #include "metrics/table.h"
+#include "metrics/trace.h"
 #include "query/engine.h"
 #include "net/topology.h"
 #include "util/flags.h"
@@ -46,10 +54,11 @@ struct ReplayStats {
 // 3.1.4) — which is what makes alpha an interior trade-off.
 ReplayStats Replay(const std::vector<WorkloadEvent>& events,
                    const CostModel& cost, double alpha,
-                   std::size_t num_nodes) {
+                   std::size_t num_nodes, TraceSink* trace = nullptr) {
   BaseStationOptimizer::Options options;
   options.alpha = alpha;
   BaseStationOptimizer optimizer(cost, options);
+  optimizer.SetTraceSink(trace);
 
   ReplayStats stats;
   double weight = 0.0;
@@ -125,10 +134,30 @@ int Main(int argc, char** argv) {
   const auto num_queries =
       static_cast<std::size_t>(flags.GetInt("queries", 500));
   const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 17));
+  const auto trace_out = flags.GetOptional("trace-out");
   for (const std::string& unread : flags.UnreadFlags()) {
     std::fprintf(stderr, "unknown flag --%s\n", unread.c_str());
     return 2;
   }
+
+  std::ofstream trace_file;
+  std::unique_ptr<JsonlTraceWriter> trace_writer;
+  if (trace_out.has_value()) {
+    trace_file.open(*trace_out);
+    if (!trace_file) {
+      std::fprintf(stderr, "cannot open %s\n", trace_out->c_str());
+      return 1;
+    }
+    trace_writer = std::make_unique<JsonlTraceWriter>(trace_file);
+  }
+  // Hands the trace sink to the first replay only; a full sweep would
+  // record hundreds of thousands of benefit estimates.
+  TraceSink* pending_trace = trace_writer.get();
+  const auto take_trace = [&pending_trace]() {
+    TraceSink* t = pending_trace;
+    pending_trace = nullptr;
+    return t;
+  };
 
   const Topology topology = Topology::Grid(8);
   const SelectivityEstimator estimator;
@@ -145,7 +174,8 @@ int Main(int argc, char** argv) {
     std::printf("(a) benefit ratio vs concurrent queries (alpha = 0.6)\n");
     TablePrinter table({"target concurrency", "measured avg", "benefit ratio %"});
     for (double c : concurrency) {
-      const auto stats = Replay(MakeSchedule(num_queries, c, seed), cost, 0.6, topology.size());
+      const auto stats = Replay(MakeSchedule(num_queries, c, seed), cost, 0.6,
+                                topology.size(), take_trace());
       table.AddRow({TablePrinter::Num(c, 0),
                     TablePrinter::Num(stats.avg_concurrent, 1),
                     TablePrinter::Num(stats.avg_benefit_ratio * 100.0, 1)});
@@ -159,7 +189,7 @@ int Main(int argc, char** argv) {
     TablePrinter table({"alpha", "benefit ratio %", "abort/inject ops"});
     for (double alpha : alphas) {
       const auto stats = Replay(MakeSchedule(num_queries, 8, seed), cost,
-                                alpha, topology.size());
+                                alpha, topology.size(), take_trace());
       table.AddRow({TablePrinter::Num(alpha, 1),
                     TablePrinter::Num(stats.avg_benefit_ratio * 100.0, 2),
                     std::to_string(stats.churn_operations)});
@@ -247,6 +277,12 @@ int Main(int argc, char** argv) {
     }
     table.Print(std::cout);
     std::printf("\n");
+  }
+  if (trace_writer != nullptr) {
+    trace_writer->Flush();
+    std::printf("wrote %llu trace events to %s\n",
+                static_cast<unsigned long long>(trace_writer->events()),
+                trace_out->c_str());
   }
   return 0;
 }

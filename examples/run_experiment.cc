@@ -7,11 +7,27 @@
 //
 // Prints the run summary, per-mode savings (when --compare is given), and
 // the energy picture.
+//
+// Observability outputs (all optional):
+//   --metrics-out=m.json   per-node/per-class counters, run gauges, and the
+//                          per-epoch time series as one JSON document
+//   --prom-out=m.prom      the same registry in Prometheus text format
+//   --trace-out=t.jsonl    radio events + tier-1/tier-2 decision events as
+//                          JSON Lines
+//   --epoch-csv=e.csv      the per-epoch time series as CSV
+// With --compare, registry metrics are labeled mode="..." per run and the
+// trace contains all four runs bracketed by run.start/run.end; the epoch
+// series covers the final (ttmqo) run.
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "metrics/energy.h"
+#include "metrics/epoch_sampler.h"
+#include "metrics/registry.h"
 #include "metrics/table.h"
+#include "metrics/trace.h"
 #include "util/flags.h"
 #include "workload/runner.h"
 #include "workload/static_workloads.h"
@@ -26,6 +42,12 @@ OptimizationMode ParseMode(const std::string& name) {
   if (name == "innet") return OptimizationMode::kInNetworkOnly;
   if (name == "ttmqo") return OptimizationMode::kTwoTier;
   throw std::invalid_argument("unknown --mode (baseline|bs|innet|ttmqo)");
+}
+
+std::ofstream OpenOutput(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open output file: " + path);
+  return out;
 }
 
 }  // namespace
@@ -68,6 +90,11 @@ int main(int argc, char** argv) {
       schedule = StaticSchedule(WorkloadByName(workload));
     }
 
+    const auto metrics_out = flags.GetOptional("metrics-out");
+    const auto prom_out = flags.GetOptional("prom-out");
+    const auto trace_out = flags.GetOptional("trace-out");
+    const auto epoch_csv = flags.GetOptional("epoch-csv");
+
     for (const std::string& unread : flags.UnreadFlags()) {
       std::fprintf(stderr, "unknown flag --%s\n", unread.c_str());
       return 2;
@@ -81,11 +108,39 @@ int main(int argc, char** argv) {
                       OptimizationMode::kTwoTier}
                 : std::vector<OptimizationMode>{ParseMode(mode_name)};
 
+    MetricsRegistry registry;
+    EpochSampler sampler;
+    std::ofstream trace_file;
+    std::unique_ptr<JsonlTraceWriter> trace_writer;
+    if (trace_out.has_value()) {
+      trace_file = OpenOutput(*trace_out);
+      trace_writer = std::make_unique<JsonlTraceWriter>(trace_file);
+    }
+    const bool want_metrics = metrics_out.has_value() || prom_out.has_value();
+    const bool want_epochs = metrics_out.has_value() || epoch_csv.has_value();
+
     TablePrinter table({"mode", "avg tx %", "messages", "retx", "results",
                         "avg net queries", "sleep %"});
     double baseline_tx = -1.0;
     for (OptimizationMode mode : modes) {
       config.mode = mode;
+      config.obs = RunObservability{};
+      if (want_metrics) {
+        config.obs.registry = &registry;
+        if (compare) {
+          config.obs.labels = {
+              {"mode", std::string(OptimizationModeName(mode))}};
+        }
+      }
+      if (trace_writer != nullptr) {
+        config.obs.trace = trace_writer.get();
+        config.obs.observers.push_back(trace_writer.get());
+      }
+      // One sampler serves one run: under --compare it watches the final
+      // (two-tier) run.
+      if (want_epochs && mode == modes.back()) {
+        config.obs.sampler = &sampler;
+      }
       const RunResult run = RunExperiment(config, schedule);
       if (mode == OptimizationMode::kBaseline) {
         baseline_tx = run.summary.avg_transmission_fraction;
@@ -106,6 +161,34 @@ int main(int argc, char** argv) {
       }
     }
     table.Print(std::cout);
+
+    if (metrics_out.has_value()) {
+      std::ofstream out = OpenOutput(*metrics_out);
+      out << "{\"workload\":";
+      WriteJsonString(out, workload);
+      out << ",\"metrics\":";
+      registry.WriteJson(out);
+      out << ",\"epochs\":";
+      sampler.WriteJsonArray(out);
+      out << "}\n";
+      std::printf("wrote metrics JSON to %s\n", metrics_out->c_str());
+    }
+    if (prom_out.has_value()) {
+      std::ofstream out = OpenOutput(*prom_out);
+      registry.WritePrometheus(out);
+      std::printf("wrote Prometheus metrics to %s\n", prom_out->c_str());
+    }
+    if (epoch_csv.has_value()) {
+      std::ofstream out = OpenOutput(*epoch_csv);
+      sampler.WriteCsv(out);
+      std::printf("wrote epoch series to %s\n", epoch_csv->c_str());
+    }
+    if (trace_writer != nullptr) {
+      trace_writer->Flush();
+      std::printf("wrote %llu trace events to %s\n",
+                  static_cast<unsigned long long>(trace_writer->events()),
+                  trace_out->c_str());
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -13,6 +13,8 @@
 // only relative values matter for rewriting decisions.
 #pragma once
 
+#include <cstdint>
+
 #include "net/radio.h"
 #include "net/topology.h"
 #include "query/query.h"
@@ -50,11 +52,20 @@ class CostModel {
   /// The selectivity estimator in use.
   const SelectivityEstimator& selectivity() const { return *selectivity_; }
 
+  /// Number of Eq. 3 evaluations since construction (observability: the
+  /// rewriter's work is proportional to these).
+  std::uint64_t cost_evaluations() const { return cost_evaluations_; }
+
+  /// Number of benefit evaluations (one per candidate merge considered).
+  std::uint64_t benefit_evaluations() const { return benefit_evaluations_; }
+
  private:
   const Topology* topology_;
   RadioParams radio_;
   const SelectivityEstimator* selectivity_;
   double num_sensors_;  // |N| excluding the base station
+  mutable std::uint64_t cost_evaluations_ = 0;
+  mutable std::uint64_t benefit_evaluations_ = 0;
 };
 
 }  // namespace ttmqo

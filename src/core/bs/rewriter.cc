@@ -47,6 +47,12 @@ void BaseStationOptimizer::InsertBundle(const Query& net_query,
   QueryId best_id = kInvalidQueryId;
   for (const auto& [id, sq] : synthetics_) {
     const double rate = BenefitRate(net_query, sq);
+    if (trace_ != nullptr) {
+      trace_->Emit(TraceEvent("tier1.benefit_estimate")
+                       .With("query", static_cast<std::int64_t>(net_query.id()))
+                       .With("candidate", static_cast<std::int64_t>(id))
+                       .With("rate", rate));
+    }
     if (rate > best_rate) {
       best_rate = rate;
       best_id = id;
@@ -56,6 +62,14 @@ void BaseStationOptimizer::InsertBundle(const Query& net_query,
 
   if (best_rate >= 1.0) {
     // Lines 11-12: covered — absorb the members, network unchanged.
+    ++decisions_.covered;
+    if (trace_ != nullptr) {
+      trace_->Emit(TraceEvent("tier1.insert")
+                       .With("query", static_cast<std::int64_t>(net_query.id()))
+                       .With("action", std::string("covered"))
+                       .With("synthetic", static_cast<std::int64_t>(best_id))
+                       .With("rate", best_rate));
+    }
     SyntheticQuery& sq = synthetics_.at(best_id);
     for (auto& [uid, uq] : members) {
       user_to_synthetic_[uid] = best_id;
@@ -66,6 +80,16 @@ void BaseStationOptimizer::InsertBundle(const Query& net_query,
   }
 
   if (best_rate > 0.0) {
+    ++decisions_.merged;
+    if (trace_ != nullptr) {
+      trace_->Emit(TraceEvent("tier1.insert")
+                       .With("query", static_cast<std::int64_t>(net_query.id()))
+                       .With("action", std::string("merged"))
+                       .With("synthetic", static_cast<std::int64_t>(best_id))
+                       .With("rate", best_rate)
+                       .With("members",
+                             static_cast<std::int64_t>(members.size())));
+    }
     // Lines 13-14: integrate with the best synthetic query, then re-insert
     // the merged bundle to exploit chained rewrites.
     auto node = synthetics_.extract(best_id);
@@ -89,6 +113,15 @@ void BaseStationOptimizer::InsertBundle(const Query& net_query,
       net_query.id() >= options_.first_synthetic_id
           ? net_query.id()
           : NextSyntheticId();
+  ++decisions_.standalone;
+  if (trace_ != nullptr) {
+    trace_->Emit(TraceEvent("tier1.insert")
+                     .With("query", static_cast<std::int64_t>(net_query.id()))
+                     .With("action", std::string("standalone"))
+                     .With("synthetic", static_cast<std::int64_t>(sid))
+                     .With("members",
+                           static_cast<std::int64_t>(members.size())));
+  }
   SyntheticQuery sq(net_query.WithId(sid));
   for (auto& [uid, uq] : members) {
     user_to_synthetic_[uid] = sid;
@@ -128,6 +161,13 @@ BaseStationOptimizer::Actions BaseStationOptimizer::TerminateUserQuery(
 
   if (sq.members.empty()) {
     // Last member gone: retire the synthetic query.
+    ++decisions_.retired;
+    if (trace_ != nullptr) {
+      trace_->Emit(TraceEvent("tier1.terminate")
+                       .With("query", static_cast<std::int64_t>(user))
+                       .With("action", std::string("retire"))
+                       .With("synthetic", static_cast<std::int64_t>(sid)));
+    }
     actions.abort.push_back(sid);
     synthetics_.erase(sid);
     Deduplicate(actions);
@@ -144,8 +184,26 @@ BaseStationOptimizer::Actions BaseStationOptimizer::TerminateUserQuery(
 
   // Algorithm 2, line 5: rebuild only when the leaving query's cost
   // outweighs the synthetic query's benefit, scaled by alpha.
-  if (requirements_shrank &&
-      cost_->Cost(leaving) > sq.benefit * options_.alpha) {
+  const double leaving_cost = cost_->Cost(leaving);
+  const bool rebuild =
+      requirements_shrank && leaving_cost > sq.benefit * options_.alpha;
+  if (rebuild) {
+    ++decisions_.rebuilt;
+  } else {
+    ++decisions_.kept;
+  }
+  if (trace_ != nullptr) {
+    trace_->Emit(TraceEvent("tier1.terminate")
+                     .With("query", static_cast<std::int64_t>(user))
+                     .With("action",
+                           std::string(rebuild ? "rebuild" : "keep"))
+                     .With("synthetic", static_cast<std::int64_t>(sid))
+                     .With("leaving_cost", leaving_cost)
+                     .With("benefit", sq.benefit)
+                     .With("alpha", options_.alpha)
+                     .With("shrank", requirements_shrank));
+  }
+  if (rebuild) {
     actions.abort.push_back(sid);
     auto node = synthetics_.extract(sid);
     for (auto& [uid, uq] : node.mapped().members) {

@@ -27,6 +27,7 @@
 #include "core/bs/cost_model.h"
 #include "core/bs/integration.h"
 #include "query/query.h"
+#include "util/tracing.h"
 
 namespace ttmqo {
 
@@ -103,6 +104,27 @@ class BaseStationOptimizer {
   /// benefit".  Exposed for tests and benches.
   double BenefitRate(const Query& qi, const SyntheticQuery& qj) const;
 
+  /// Running tally of the decisions Algorithms 1 and 2 took.
+  struct DecisionStats {
+    /// Algorithm 1 outcomes, one per inserted bundle.
+    std::uint64_t covered = 0;     ///< absorbed, network unchanged
+    std::uint64_t merged = 0;      ///< integrated into an existing synthetic
+    std::uint64_t standalone = 0;  ///< became its own synthetic query
+    /// Algorithm 2 outcomes, one per terminated user query.
+    std::uint64_t retired = 0;  ///< last member left, synthetic aborted
+    std::uint64_t rebuilt = 0;  ///< cost(leaving) > benefit * alpha
+    std::uint64_t kept = 0;     ///< leftover tolerated (or nothing shrank)
+  };
+
+  /// Decision counts since construction.
+  const DecisionStats& decision_stats() const { return decisions_; }
+
+  /// Installs a sink for structured decision events ("tier1.insert",
+  /// "tier1.benefit_estimate", "tier1.terminate"); nullptr disables
+  /// tracing.  The optimizer has no clock: events carry time 0 and callers
+  /// stamp them (the engine wraps the sink in a time-stamping adapter).
+  void SetTraceSink(TraceSink* sink) { trace_ = sink; }
+
  private:
   void InsertBundle(const Query& net_query,
                     std::map<QueryId, Query> members, Actions& actions);
@@ -115,6 +137,8 @@ class BaseStationOptimizer {
   QueryId next_synthetic_id_;
   std::map<QueryId, SyntheticQuery> synthetics_;
   std::map<QueryId, QueryId> user_to_synthetic_;
+  DecisionStats decisions_;
+  TraceSink* trace_ = nullptr;
 };
 
 }  // namespace ttmqo

@@ -68,11 +68,23 @@ SimDuration InNetworkEngine::SlotOffset(NodeId node) const {
 // Submission / termination (base station API)
 // -----------------------------------------------------------------------
 
+void InNetworkEngine::EmitTrace(TraceEvent event) {
+  event.time = network_.sim().Now();
+  trace_->Emit(event);
+}
+
 void InNetworkEngine::SubmitQuery(const Query& query) {
   CheckArg(!bs_queries_.contains(query.id()),
            "InNetworkEngine: duplicate query id");
   bs_queries_.emplace(query.id(), BsQueryState(query));
   nodes_[kBaseStationId].seen_propagation.insert(query.id());
+  if (trace_ != nullptr) {
+    EmitTrace(TraceEvent("tier2.submit")
+                  .With("query", static_cast<std::int64_t>(query.id()))
+                  .With("epoch_ms", static_cast<std::int64_t>(query.epoch()))
+                  .With("active",
+                        static_cast<std::int64_t>(bs_queries_.size())));
+  }
 
   Message msg;
   msg.cls = MessageClass::kQueryPropagation;
@@ -95,6 +107,10 @@ void InNetworkEngine::TerminateQuery(QueryId id) {
   it->second.rows.clear();
   it->second.partials.clear();
   nodes_[kBaseStationId].seen_abort.insert(id);
+  if (trace_ != nullptr) {
+    EmitTrace(TraceEvent("tier2.terminate")
+                  .With("query", static_cast<std::int64_t>(id)));
+  }
 
   Message msg;
   msg.cls = MessageClass::kQueryAbort;
@@ -701,6 +717,14 @@ void InNetworkEngine::CloseEpoch(QueryId id, SimTime epoch_time) {
                                        PartialAggregate(spec).Finalize());
       }
     }
+  }
+  if (trace_ != nullptr) {
+    EmitTrace(TraceEvent("tier2.epoch_close")
+                  .With("query", static_cast<std::int64_t>(id))
+                  .With("epoch_t", epoch_time)
+                  .With("rows", static_cast<std::int64_t>(result.rows.size()))
+                  .With("aggregates",
+                        static_cast<std::int64_t>(result.aggregates.size())));
   }
   if (sink_ != nullptr) sink_->OnResult(result);
   ScheduleEpochClose(id, epoch_time + state.query.epoch());

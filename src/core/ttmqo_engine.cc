@@ -27,7 +27,8 @@ TtmqoEngine::TtmqoEngine(Network& network, const FieldModel& field,
       options_(options),
       selectivity_(options.selectivity_bins),
       cost_model_(network.topology(), network.radio(), selectivity_),
-      network_sink_(this) {
+      network_sink_(this),
+      trace_(network.sim()) {
   if (Rewriting()) {
     BaseStationOptimizer::Options opt;
     opt.alpha = options_.alpha;
@@ -49,11 +50,28 @@ std::string_view TtmqoEngine::name() const {
   return OptimizationModeName(options_.mode);
 }
 
+void TtmqoEngine::SetTraceSink(TraceSink* sink) {
+  trace_.SetDownstream(sink);
+  // The optimizer checks its sink pointer before building events; leave it
+  // null when tracing is off so the hot insert path pays nothing.
+  if (optimizer_ != nullptr) {
+    optimizer_->SetTraceSink(sink != nullptr ? &trace_ : nullptr);
+  }
+  inner_->SetTraceSink(sink);
+}
+
 void TtmqoEngine::SubmitQuery(const Query& query) {
   CheckArg(!users_.contains(query.id()), "TtmqoEngine: duplicate user query");
   UserState state(query);
   state.submitted_at = network_.sim().Now();
   users_.emplace(query.id(), std::move(state));
+  if (trace_.downstream() != nullptr) {
+    trace_.Emit(TraceEvent("engine.user_submit")
+                    .With("query", static_cast<std::int64_t>(query.id()))
+                    .With("epoch_ms", static_cast<std::int64_t>(query.epoch()))
+                    .With("active_users",
+                          static_cast<std::int64_t>(users_.size())));
+  }
 
   // The lifetime clause (FOR <ms>) self-terminates the query.
   if (query.lifetime() > 0) {
@@ -74,6 +92,12 @@ void TtmqoEngine::TerminateQuery(QueryId id) {
   const auto it = users_.find(id);
   CheckArg(it != users_.end(), "TtmqoEngine: terminating unknown user query");
   users_.erase(it);
+  if (trace_.downstream() != nullptr) {
+    trace_.Emit(TraceEvent("engine.user_terminate")
+                    .With("query", static_cast<std::int64_t>(id))
+                    .With("active_users",
+                          static_cast<std::int64_t>(users_.size())));
+  }
 
   if (!Rewriting()) {
     inner_->TerminateQuery(id);
@@ -85,10 +109,21 @@ void TtmqoEngine::TerminateQuery(QueryId id) {
 void TtmqoEngine::ApplyActions(const BaseStationOptimizer::Actions& actions) {
   // Abort superseded synthetic queries before injecting replacements so the
   // channel is never loaded with both.
+  const bool tracing = trace_.downstream() != nullptr;
   for (QueryId id : actions.abort) {
+    if (tracing) {
+      trace_.Emit(TraceEvent("engine.synthetic_abort")
+                      .With("synthetic", static_cast<std::int64_t>(id)));
+    }
     inner_->TerminateQuery(id);
   }
   for (const Query& query : actions.inject) {
+    if (tracing) {
+      trace_.Emit(TraceEvent("engine.synthetic_inject")
+                      .With("synthetic", static_cast<std::int64_t>(query.id()))
+                      .With("epoch_ms",
+                            static_cast<std::int64_t>(query.epoch())));
+    }
     inner_->SubmitQuery(query);
   }
 }

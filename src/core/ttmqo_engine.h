@@ -72,6 +72,11 @@ class TtmqoEngine final : public QueryEngine {
 
   std::string_view name() const override;
 
+  /// Routes tier-1 (rewriter) and tier-2 (inner engine) decision events to
+  /// `sink`, stamped with the network's simulation time.  Pass nullptr to
+  /// disable tracing.
+  void SetTraceSink(TraceSink* sink) override;
+
   /// The tier-1 optimizer; nullptr when the mode does not rewrite.
   const BaseStationOptimizer* optimizer() const { return optimizer_.get(); }
 
@@ -89,7 +94,28 @@ class TtmqoEngine final : public QueryEngine {
   /// default, per the paper's experimental setup).
   SelectivityEstimator& selectivity() { return selectivity_; }
 
+  /// The cost model (exposes evaluation counters for observability).
+  const CostModel& cost_model() const { return cost_model_; }
+
  private:
+  /// Stamps optimizer events (which carry time 0; the optimizer has no
+  /// clock) with the simulator's current time before forwarding.
+  class StampingTraceSink final : public TraceSink {
+   public:
+    explicit StampingTraceSink(const Simulator& sim) : sim_(&sim) {}
+    void SetDownstream(TraceSink* sink) { down_ = sink; }
+    TraceSink* downstream() const { return down_; }
+    void Emit(const TraceEvent& event) override {
+      if (down_ == nullptr) return;
+      TraceEvent stamped = event;
+      stamped.time = sim_->Now();
+      down_->Emit(stamped);
+    }
+
+   private:
+    const Simulator* sim_;
+    TraceSink* down_ = nullptr;
+  };
   struct UserState {
     explicit UserState(Query q) : query(std::move(q)) {}
     Query query;
@@ -123,6 +149,7 @@ class TtmqoEngine final : public QueryEngine {
   SelectivityEstimator selectivity_;
   CostModel cost_model_;
   NetworkSink network_sink_;
+  StampingTraceSink trace_;
   std::unique_ptr<BaseStationOptimizer> optimizer_;
   std::unique_ptr<QueryEngine> inner_;
   std::map<QueryId, UserState> users_;

@@ -1,0 +1,56 @@
+#include "metrics/metrics_observer.h"
+
+namespace ttmqo {
+
+MetricsObserver::MetricsObserver(MetricsRegistry& registry,
+                                 MetricLabels base_labels)
+    : registry_(&registry), base_labels_(std::move(base_labels)) {
+  failures_ = &registry_->GetCounter("net_node_failures_total", base_labels_);
+  tx_duration_ = &registry_->GetHistogram(
+      "net_tx_duration_ms", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0},
+      base_labels_);
+}
+
+MetricLabels MetricsObserver::WithNode(NodeId node) const {
+  MetricLabels labels = base_labels_;
+  labels.emplace_back("node", std::to_string(node));
+  return labels;
+}
+
+MetricLabels MetricsObserver::WithNodeClass(NodeId node,
+                                            MessageClass cls) const {
+  MetricLabels labels = WithNode(node);
+  labels.emplace_back("class", std::string(MessageClassName(cls)));
+  return labels;
+}
+
+void MetricsObserver::OnTransmit(SimTime /*time*/, const Message& msg,
+                                 double duration_ms, bool retransmission) {
+  tx_duration_->Observe(duration_ms);
+  if (retransmission) {
+    const MetricLabels labels = WithNode(msg.sender);
+    registry_->GetCounter("net_retx_total", labels).Increment();
+    registry_->GetCounter("net_retx_ms_total", labels).Add(duration_ms);
+    return;
+  }
+  const MetricLabels labels = WithNodeClass(msg.sender, msg.cls);
+  registry_->GetCounter("net_tx_total", labels).Increment();
+  registry_->GetCounter("net_tx_ms_total", labels).Add(duration_ms);
+}
+
+void MetricsObserver::OnDrop(SimTime /*time*/, const Message& msg) {
+  registry_->GetCounter("net_drops_total", WithNode(msg.sender)).Increment();
+}
+
+void MetricsObserver::OnSleepChange(SimTime /*time*/, NodeId node,
+                                    bool asleep) {
+  if (!asleep) return;
+  registry_->GetCounter("net_sleep_transitions_total", WithNode(node))
+      .Increment();
+}
+
+void MetricsObserver::OnNodeFailed(SimTime /*time*/, NodeId /*node*/) {
+  failures_->Increment();
+}
+
+}  // namespace ttmqo

@@ -1,0 +1,49 @@
+// A `NetworkObserver` that feeds a `MetricsRegistry`.
+//
+// Maintains per-node, per-message-class counters of transmissions, airtime,
+// retransmissions, and drops, plus a network-wide transmit-duration
+// histogram — the Prometheus-style counterpart of the `RadioLedger`.
+// Attach one per run via `network.observers().Add(...)`; extra base labels
+// (e.g. {"mode","ttmqo"}) distinguish runs sharing one registry.
+#pragma once
+
+#include <string>
+
+#include "metrics/registry.h"
+#include "net/observer.h"
+
+namespace ttmqo {
+
+/// Exported metric names (shared with docs and tests):
+///   net_tx_total{node,class}       first-attempt transmissions
+///   net_tx_ms_total{node,class}    first-attempt airtime (ms)
+///   net_retx_total{node}           retransmission attempts
+///   net_retx_ms_total{node}        retransmission airtime (ms)
+///   net_drops_total{node}          messages abandoned after retries
+///   net_sleep_transitions_total{node}
+///   net_node_failures_total
+///   net_tx_duration_ms             histogram over attempt durations
+class MetricsObserver final : public NetworkObserver {
+ public:
+  /// `registry` must outlive the observer; `base_labels` are appended to
+  /// every instrument this observer touches.
+  explicit MetricsObserver(MetricsRegistry& registry,
+                           MetricLabels base_labels = {});
+
+  void OnTransmit(SimTime time, const Message& msg, double duration_ms,
+                  bool retransmission) override;
+  void OnDrop(SimTime time, const Message& msg) override;
+  void OnSleepChange(SimTime time, NodeId node, bool asleep) override;
+  void OnNodeFailed(SimTime time, NodeId node) override;
+
+ private:
+  MetricLabels WithNode(NodeId node) const;
+  MetricLabels WithNodeClass(NodeId node, MessageClass cls) const;
+
+  MetricsRegistry* registry_;
+  MetricLabels base_labels_;
+  Counter* failures_;
+  HistogramMetric* tx_duration_;
+};
+
+}  // namespace ttmqo

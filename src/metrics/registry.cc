@@ -1,0 +1,242 @@
+#include "metrics/registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/check.h"
+#include "util/tracing.h"
+
+namespace ttmqo {
+namespace {
+
+// std::atomic<double>::fetch_add is C++20 but not universally lock-free;
+// a CAS loop is portable and contention here is negligible.
+void AtomicAdd(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+// Prometheus-safe rendering of a sample value.
+void WriteNumber(std::ostream& out, double value) {
+  if (!std::isfinite(value)) {
+    out << (std::isnan(value) ? "NaN" : (value > 0 ? "+Inf" : "-Inf"));
+    return;
+  }
+  if (value == std::floor(value) && std::abs(value) < 1e15) {
+    out << static_cast<long long>(value);
+    return;
+  }
+  out << value;
+}
+
+}  // namespace
+
+void Counter::Add(double delta) {
+  if (delta <= 0.0) return;
+  AtomicAdd(value_, delta);
+}
+
+void Gauge::Add(double delta) { AtomicAdd(value_, delta); }
+
+HistogramMetric::HistogramMetric(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)),
+      counts_(upper_bounds_.size() + 1, 0) {
+  CheckArg(!upper_bounds_.empty(), "HistogramMetric: needs at least one bucket");
+  CheckArg(std::is_sorted(upper_bounds_.begin(), upper_bounds_.end()) &&
+               std::adjacent_find(upper_bounds_.begin(), upper_bounds_.end()) ==
+                   upper_bounds_.end(),
+           "HistogramMetric: bucket bounds must be strictly increasing");
+}
+
+void HistogramMetric::Observe(double value) {
+  const auto it =
+      std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), value);
+  const std::size_t bucket =
+      static_cast<std::size_t>(it - upper_bounds_.begin());
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_[bucket];
+  ++count_;
+  sum_ += value;
+}
+
+std::vector<std::uint64_t> HistogramMetric::BucketCounts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_;
+}
+
+std::uint64_t HistogramMetric::Count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double HistogramMetric::Sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+std::string MetricsRegistry::InstrumentKey(const std::string& name,
+                                           const MetricLabels& labels) {
+  if (labels.empty()) return name;
+  MetricLabels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key = name;
+  key += '{';
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) key += ',';
+    key += sorted[i].first;
+    key += "=\"";
+    JsonEscape(sorted[i].second, key);
+    key += '"';
+  }
+  key += '}';
+  return key;
+}
+
+MetricsRegistry::Instrument& MetricsRegistry::GetOrCreate(
+    const std::string& name, const MetricLabels& labels, Kind kind) {
+  const std::string key = InstrumentKey(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = instruments_.find(key);
+  if (it != instruments_.end()) {
+    if (it->second.kind != kind) {
+      throw std::invalid_argument("MetricsRegistry: '" + key +
+                                  "' already registered as a different type");
+    }
+    return it->second;
+  }
+  Instrument instrument;
+  instrument.kind = kind;
+  return instruments_.emplace(key, std::move(instrument)).first->second;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name,
+                                     const MetricLabels& labels) {
+  Instrument& instrument = GetOrCreate(name, labels, Kind::kCounter);
+  if (instrument.counter == nullptr) {
+    instrument.counter = std::make_unique<Counter>();
+  }
+  return *instrument.counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name,
+                                 const MetricLabels& labels) {
+  Instrument& instrument = GetOrCreate(name, labels, Kind::kGauge);
+  if (instrument.gauge == nullptr) instrument.gauge = std::make_unique<Gauge>();
+  return *instrument.gauge;
+}
+
+HistogramMetric& MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> upper_bounds,
+                                         const MetricLabels& labels) {
+  Instrument& instrument = GetOrCreate(name, labels, Kind::kHistogram);
+  if (instrument.histogram == nullptr) {
+    instrument.histogram = std::make_unique<HistogramMetric>(std::move(upper_bounds));
+  } else {
+    CheckArg(instrument.histogram->upper_bounds() == upper_bounds,
+             "MetricsRegistry: histogram re-registered with different buckets");
+  }
+  return *instrument.histogram;
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return instruments_.size();
+}
+
+void MetricsRegistry::WriteJson(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto write_section = [&](const char* title, Kind kind, bool& first) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << title << "\":{";
+    bool first_entry = true;
+    for (const auto& [key, instrument] : instruments_) {
+      if (instrument.kind != kind) continue;
+      if (!first_entry) out << ',';
+      first_entry = false;
+      WriteJsonString(out, key);
+      out << ':';
+      if (kind == Kind::kCounter) {
+        out << instrument.counter->Value();
+      } else if (kind == Kind::kGauge) {
+        out << instrument.gauge->Value();
+      } else {
+        const HistogramMetric& h = *instrument.histogram;
+        const auto counts = h.BucketCounts();
+        out << "{\"sum\":" << h.Sum() << ",\"count\":" << h.Count()
+            << ",\"buckets\":[";
+        for (std::size_t i = 0; i < counts.size(); ++i) {
+          if (i > 0) out << ',';
+          out << "{\"le\":";
+          if (i < h.upper_bounds().size()) {
+            out << h.upper_bounds()[i];
+          } else {
+            out << "\"+Inf\"";
+          }
+          out << ",\"count\":" << counts[i] << '}';
+        }
+        out << "]}";
+      }
+    }
+    out << '}';
+  };
+  out << '{';
+  bool first = true;
+  write_section("counters", Kind::kCounter, first);
+  write_section("gauges", Kind::kGauge, first);
+  write_section("histograms", Kind::kHistogram, first);
+  out << '}';
+}
+
+void MetricsRegistry::WritePrometheus(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string last_typed_name;
+  for (const auto& [key, instrument] : instruments_) {
+    const std::string name = key.substr(0, key.find('{'));
+    const std::string labels =
+        key.size() > name.size() ? key.substr(name.size()) : std::string();
+    if (name != last_typed_name) {
+      out << "# TYPE " << name << ' '
+          << (instrument.kind == Kind::kCounter
+                  ? "counter"
+                  : instrument.kind == Kind::kGauge ? "gauge" : "histogram")
+          << '\n';
+      last_typed_name = name;
+    }
+    if (instrument.kind == Kind::kCounter) {
+      out << key << ' ';
+      WriteNumber(out, instrument.counter->Value());
+      out << '\n';
+    } else if (instrument.kind == Kind::kGauge) {
+      out << key << ' ';
+      WriteNumber(out, instrument.gauge->Value());
+      out << '\n';
+    } else {
+      const HistogramMetric& h = *instrument.histogram;
+      const auto counts = h.BucketCounts();
+      const std::string inner =
+          labels.empty() ? std::string()
+                         : labels.substr(1, labels.size() - 2) + ",";
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i < counts.size(); ++i) {
+        cumulative += counts[i];
+        out << name << "_bucket{" << inner << "le=\"";
+        if (i < h.upper_bounds().size()) {
+          WriteNumber(out, h.upper_bounds()[i]);
+        } else {
+          out << "+Inf";
+        }
+        out << "\"} " << cumulative << '\n';
+      }
+      out << name << "_sum" << labels << ' ';
+      WriteNumber(out, h.Sum());
+      out << '\n';
+      out << name << "_count" << labels << ' ' << h.Count() << '\n';
+    }
+  }
+}
+
+}  // namespace ttmqo

@@ -14,13 +14,18 @@ void WriteDestinations(std::ostream& out, const Message& msg) {
 
 }  // namespace
 
+JsonlTraceWriter::~JsonlTraceWriter() { Flush(); }
+
+void JsonlTraceWriter::Flush() { out_->flush(); }
+
 void JsonlTraceWriter::OnTransmit(SimTime time, const Message& msg,
                                   double duration_ms, bool retransmission) {
   ++events_;
   *out_ << "{\"event\":\"tx\",\"t\":" << time << ",\"from\":" << msg.sender
-        << ",\"class\":\"" << MessageClassName(msg.cls) << "\",\"bytes\":"
-        << msg.payload_bytes << ",\"ms\":" << duration_ms << ",\"retx\":"
-        << (retransmission ? "true" : "false") << ',';
+        << ",\"class\":";
+  WriteJsonString(*out_, MessageClassName(msg.cls));
+  *out_ << ",\"bytes\":" << msg.payload_bytes << ",\"ms\":" << duration_ms
+        << ",\"retx\":" << (retransmission ? "true" : "false") << ',';
   WriteDestinations(*out_, msg);
   *out_ << "}\n";
 }
@@ -28,7 +33,9 @@ void JsonlTraceWriter::OnTransmit(SimTime time, const Message& msg,
 void JsonlTraceWriter::OnDrop(SimTime time, const Message& msg) {
   ++events_;
   *out_ << "{\"event\":\"drop\",\"t\":" << time << ",\"from\":" << msg.sender
-        << ",\"class\":\"" << MessageClassName(msg.cls) << "\"}\n";
+        << ",\"class\":";
+  WriteJsonString(*out_, MessageClassName(msg.cls));
+  *out_ << "}\n";
 }
 
 void JsonlTraceWriter::OnSleepChange(SimTime time, NodeId node, bool asleep) {
@@ -41,6 +48,12 @@ void JsonlTraceWriter::OnNodeFailed(SimTime time, NodeId node) {
   ++events_;
   *out_ << "{\"event\":\"fail\",\"t\":" << time << ",\"node\":" << node
         << "}\n";
+}
+
+void JsonlTraceWriter::Emit(const TraceEvent& event) {
+  ++events_;
+  WriteTraceEventJson(*out_, event);
+  *out_ << '\n';
 }
 
 }  // namespace ttmqo

@@ -1,28 +1,47 @@
-// Radio event tracing.
+// Radio event and decision tracing.
 //
-// `JsonlTraceWriter` implements `NetworkObserver` and streams one JSON
-// object per radio event to an `std::ostream` — suitable for offline
-// visualization or debugging of an experiment's message flow.
+// `JsonlTraceWriter` streams one JSON object per event to an
+// `std::ostream` — suitable for offline visualization or debugging of an
+// experiment's message flow.  It is both a `NetworkObserver` (radio events:
+// tx/drop/sleep/wake/fail) and a `TraceSink` (structured decision events
+// from the optimizer tiers), so one JSONL file interleaves the network's
+// physical activity with the decisions that caused it.  All string fields
+// are JSON-escaped and the stream is flushed on destruction, so the output
+// is always parseable line-by-line.
 #pragma once
 
 #include <ostream>
 
-#include "net/network.h"
+#include "net/observer.h"
+#include "util/tracing.h"
 
 namespace ttmqo {
 
-/// Streams radio events as JSON Lines.
-class JsonlTraceWriter final : public NetworkObserver {
+/// Streams radio events and trace events as JSON Lines.
+class JsonlTraceWriter final : public NetworkObserver, public TraceSink {
  public:
   /// `out` must outlive the writer.  Nothing is buffered beyond the
   /// stream's own buffering.
   explicit JsonlTraceWriter(std::ostream& out) : out_(&out) {}
 
+  /// Flushes the stream so a truncated process still leaves parseable JSONL.
+  ~JsonlTraceWriter() override;
+
+  JsonlTraceWriter(const JsonlTraceWriter&) = delete;
+  JsonlTraceWriter& operator=(const JsonlTraceWriter&) = delete;
+
+  // NetworkObserver:
   void OnTransmit(SimTime time, const Message& msg, double duration_ms,
                   bool retransmission) override;
   void OnDrop(SimTime time, const Message& msg) override;
   void OnSleepChange(SimTime time, NodeId node, bool asleep) override;
   void OnNodeFailed(SimTime time, NodeId node) override;
+
+  // TraceSink:
+  void Emit(const TraceEvent& event) override;
+
+  /// Explicitly flushes the underlying stream.
+  void Flush();
 
   /// Number of events written so far.
   std::uint64_t events() const { return events_; }

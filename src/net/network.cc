@@ -29,7 +29,7 @@ void Network::SetAsleep(NodeId node, bool asleep) {
   if (failed_.at(node)) return;  // dead nodes have no power state
   if (asleep_.at(node) == asleep) return;
   asleep_[node] = asleep;
-  if (observer_ != nullptr) observer_->OnSleepChange(sim_.Now(), node, asleep);
+  if (!observers_.empty()) observers_.OnSleepChange(sim_.Now(), node, asleep);
   if (asleep) {
     sleep_since_[node] = sim_.Now();
   } else {
@@ -46,7 +46,7 @@ void Network::FailNode(NodeId node) {
   if (failed_[node]) return;
   failed_[node] = true;
   ++num_failed_;
-  if (observer_ != nullptr) observer_->OnNodeFailed(sim_.Now(), node);
+  if (!observers_.empty()) observers_.OnNodeFailed(sim_.Now(), node);
 }
 
 bool Network::IsFailed(NodeId node) const { return failed_.at(node); }
@@ -80,8 +80,8 @@ void Network::BeginAttempt(Message msg, int attempt) {
 
   ledger_.ChargeTransmit(sender, msg.cls, duration_ms,
                          /*is_retransmission=*/attempt > 0);
-  if (observer_ != nullptr) {
-    observer_->OnTransmit(start, msg, duration_ms, attempt > 0);
+  if (!observers_.empty()) {
+    observers_.OnTransmit(start, msg, duration_ms, attempt > 0);
   }
   in_flight_.push_back(Flight{sender, start + duration});
 
@@ -113,7 +113,7 @@ void Network::CompleteAttempt(const Message& msg, int attempt,
   if (collided) {
     if (attempt >= channel_.max_retries) {
       ledger_.CountDrop(msg.sender);
-      if (observer_ != nullptr) observer_->OnDrop(sim_.Now(), msg);
+      if (!observers_.empty()) observers_.OnDrop(sim_.Now(), msg);
       return;
     }
     const auto backoff = static_cast<SimDuration>(

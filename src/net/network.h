@@ -19,30 +19,13 @@
 #include "net/ledger.h"
 #include "net/link_quality.h"
 #include "net/message.h"
+#include "net/observer.h"
 #include "net/radio.h"
 #include "net/simulator.h"
 #include "net/topology.h"
 #include "util/rng.h"
 
 namespace ttmqo {
-
-/// Observes radio-level events (tracing, visualization, debugging).  All
-/// callbacks default to no-ops; implement only what you need.
-class NetworkObserver {
- public:
-  virtual ~NetworkObserver() = default;
-
-  /// A transmission attempt began (including retransmissions).
-  virtual void OnTransmit(SimTime /*time*/, const Message& /*msg*/,
-                          double /*duration_ms*/, bool /*retransmission*/) {}
-  /// A message was abandoned after exhausting its retries.
-  virtual void OnDrop(SimTime /*time*/, const Message& /*msg*/) {}
-  /// A node changed power state.
-  virtual void OnSleepChange(SimTime /*time*/, NodeId /*node*/,
-                             bool /*asleep*/) {}
-  /// A node crashed.
-  virtual void OnNodeFailed(SimTime /*time*/, NodeId /*node*/) {}
-};
 
 /// Owns the event loop and the radio channel for one deployment.
 class Network {
@@ -114,8 +97,20 @@ class Network {
   /// Number of transmissions currently in flight (diagnostics).
   std::size_t in_flight() const { return in_flight_.size(); }
 
-  /// Installs an event observer (nullptr to remove).  Not owned.
-  void SetObserver(NetworkObserver* observer) { observer_ = observer; }
+  /// The event observer fan-out.  Any number of observers (trace writers,
+  /// metric collectors, samplers) may be attached concurrently via
+  /// `observers().Add(...)`; none is owned.
+  ObserverMux& observers() { return observers_; }
+  const ObserverMux& observers() const { return observers_; }
+
+  /// Legacy single-observer slot: replaces the previously set observer
+  /// (nullptr to remove) while leaving observers added through
+  /// `observers()` untouched.
+  void SetObserver(NetworkObserver* observer) {
+    if (legacy_observer_ != nullptr) observers_.Remove(legacy_observer_);
+    legacy_observer_ = observer;
+    observers_.Add(observer);
+  }
 
  private:
   struct Flight {
@@ -143,7 +138,8 @@ class Network {
   std::vector<SimTime> busy_until_;
   std::vector<Flight> in_flight_;
   std::uint64_t next_flight_id_ = 0;
-  NetworkObserver* observer_ = nullptr;
+  ObserverMux observers_;
+  NetworkObserver* legacy_observer_ = nullptr;
 };
 
 }  // namespace ttmqo

@@ -1,0 +1,42 @@
+#include "net/observer.h"
+
+#include <algorithm>
+
+namespace ttmqo {
+
+void ObserverMux::Add(NetworkObserver* observer) {
+  if (observer == nullptr || observer == this) return;
+  if (std::find(observers_.begin(), observers_.end(), observer) !=
+      observers_.end()) {
+    return;
+  }
+  observers_.push_back(observer);
+}
+
+bool ObserverMux::Remove(NetworkObserver* observer) {
+  const auto it = std::find(observers_.begin(), observers_.end(), observer);
+  if (it == observers_.end()) return false;
+  observers_.erase(it);
+  return true;
+}
+
+void ObserverMux::OnTransmit(SimTime time, const Message& msg,
+                             double duration_ms, bool retransmission) {
+  for (NetworkObserver* o : observers_) {
+    o->OnTransmit(time, msg, duration_ms, retransmission);
+  }
+}
+
+void ObserverMux::OnDrop(SimTime time, const Message& msg) {
+  for (NetworkObserver* o : observers_) o->OnDrop(time, msg);
+}
+
+void ObserverMux::OnSleepChange(SimTime time, NodeId node, bool asleep) {
+  for (NetworkObserver* o : observers_) o->OnSleepChange(time, node, asleep);
+}
+
+void ObserverMux::OnNodeFailed(SimTime time, NodeId node) {
+  for (NetworkObserver* o : observers_) o->OnNodeFailed(time, node);
+}
+
+}  // namespace ttmqo

@@ -40,6 +40,13 @@ std::string Flags::GetString(const std::string& name,
   return it->second.first;
 }
 
+std::optional<std::string> Flags::GetOptional(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  it->second.second = true;
+  return it->second.first;
+}
+
 std::int64_t Flags::GetInt(const std::string& name,
                            std::int64_t fallback) const {
   auto it = values_.find(name);

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,11 @@ class Flags {
   /// Returns the flag value or `fallback` when absent.
   std::string GetString(const std::string& name,
                         const std::string& fallback) const;
+
+  /// Returns the flag value, or nullopt when absent.  For output-path
+  /// flags (`--metrics-out=`, `--trace-out=`) where absence means "off"
+  /// and the empty string is not a usable sentinel.
+  std::optional<std::string> GetOptional(const std::string& name) const;
 
   /// Returns the flag as int64 or `fallback` when absent; throws when the
   /// value is present but not numeric.

@@ -1,0 +1,85 @@
+// Structured decision tracing.
+//
+// A `TraceEvent` is a timestamped, named bag of typed fields; a `TraceSink`
+// consumes them.  The optimizer tiers emit events such as "tier1.insert"
+// (query merged / covered / run standalone, with the benefit estimate that
+// drove the choice) and "tier1.terminate" (the Algorithm 2 alpha decision),
+// and the runner brackets each run with "run.start"/"run.end".  Sinks live
+// above this layer — `JsonlTraceWriter` in metrics streams events as JSON
+// Lines next to the radio events it already records.
+//
+// Tracing is opt-in: emitters hold a `TraceSink*` that defaults to null and
+// skip event construction entirely when no sink is installed.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "util/time.h"
+
+namespace ttmqo {
+
+/// One typed field value of a trace event.
+using TraceValue = std::variant<std::int64_t, double, bool, std::string>;
+
+/// A structured, timestamped event.
+struct TraceEvent {
+  /// Simulation time of the event (stamped by the emitter or an adapter).
+  SimTime time = 0;
+  /// Dotted event kind, e.g. "tier1.insert".
+  std::string kind;
+  /// Ordered key/value fields.
+  std::vector<std::pair<std::string, TraceValue>> fields;
+
+  TraceEvent() = default;
+  explicit TraceEvent(std::string k) : kind(std::move(k)) {}
+
+  /// Appends a field (chainable).
+  TraceEvent& With(std::string key, TraceValue value) {
+    fields.emplace_back(std::move(key), std::move(value));
+    return *this;
+  }
+};
+
+/// Consumes trace events.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void Emit(const TraceEvent& event) = 0;
+};
+
+/// A sink that stores every event; for tests and programmatic inspection.
+class CollectingTraceSink final : public TraceSink {
+ public:
+  void Emit(const TraceEvent& event) override { events_.push_back(event); }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// Number of collected events with the given kind.
+  std::size_t CountKind(std::string_view kind) const;
+
+  void Clear() { events_.clear(); }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// Appends `raw` to `out` with JSON string escaping applied (quotes,
+/// backslashes, control characters); does not write surrounding quotes.
+void JsonEscape(std::string_view raw, std::string& out);
+
+/// Writes `raw` as a quoted, escaped JSON string.
+void WriteJsonString(std::ostream& out, std::string_view raw);
+
+/// Writes one `TraceValue` as a JSON scalar.
+void WriteJsonValue(std::ostream& out, const TraceValue& value);
+
+/// Writes `event` as one JSON object: {"event":kind,"t":time,fields...}.
+/// No trailing newline.
+void WriteTraceEventJson(std::ostream& out, const TraceEvent& event);
+
+}  // namespace ttmqo

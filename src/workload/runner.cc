@@ -2,11 +2,59 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 
+#include "metrics/metrics_observer.h"
 #include "net/topology.h"
 #include "util/check.h"
 
 namespace ttmqo {
+namespace {
+
+/// Copies the run's end-of-run measurements into the registry.
+void ExportRunMetrics(MetricsRegistry& registry, const MetricLabels& labels,
+                      const RunResult& run, const TtmqoEngine& engine) {
+  registry.GetGauge("run_avg_transmission_fraction", labels)
+      .Set(run.summary.avg_transmission_fraction);
+  registry.GetGauge("run_avg_sleep_fraction", labels)
+      .Set(run.summary.avg_sleep_fraction);
+  registry.GetGauge("run_total_transmit_ms", labels)
+      .Set(run.summary.total_transmit_ms);
+  registry.GetGauge("run_elapsed_ms", labels)
+      .Set(static_cast<double>(run.summary.elapsed_ms));
+  registry.GetGauge("run_avg_network_queries", labels)
+      .Set(run.avg_network_queries);
+  registry.GetGauge("run_avg_benefit_ratio", labels)
+      .Set(run.avg_benefit_ratio);
+  registry.GetGauge("run_peak_user_queries", labels)
+      .Set(static_cast<double>(run.peak_user_queries));
+  registry.GetCounter("run_messages_total", labels)
+      .Add(static_cast<double>(run.summary.total_messages));
+  registry.GetCounter("run_retransmissions_total", labels)
+      .Add(static_cast<double>(run.summary.retransmissions));
+
+  registry.GetCounter("tier1_cost_evaluations_total", labels)
+      .Add(static_cast<double>(engine.cost_model().cost_evaluations()));
+  registry.GetCounter("tier1_benefit_evaluations_total", labels)
+      .Add(static_cast<double>(engine.cost_model().benefit_evaluations()));
+  if (engine.optimizer() != nullptr) {
+    const auto& d = engine.optimizer()->decision_stats();
+    const auto decision = [&](const char* action, std::uint64_t count) {
+      MetricLabels with_action = labels;
+      with_action.emplace_back("action", action);
+      registry.GetCounter("tier1_decisions_total", with_action)
+          .Add(static_cast<double>(count));
+    };
+    decision("covered", d.covered);
+    decision("merged", d.merged);
+    decision("standalone", d.standalone);
+    decision("retired", d.retired);
+    decision("rebuilt", d.rebuilt);
+    decision("kept", d.kept);
+  }
+}
+
+}  // namespace
 
 std::unique_ptr<FieldModel> MakeFieldModel(FieldKind kind,
                                            std::uint64_t master_seed) {
@@ -41,12 +89,35 @@ RunResult RunExperiment(const RunConfig& config,
   const std::unique_ptr<FieldModel> field =
       MakeFieldModel(config.field, config.seed);
 
+  // Observability hooks: extra observers, registry-fed radio counters, the
+  // per-epoch sampler, and decision tracing.
+  for (NetworkObserver* observer : config.obs.observers) {
+    network.observers().Add(observer);
+  }
+  std::optional<MetricsObserver> metrics_observer;
+  if (config.obs.registry != nullptr) {
+    metrics_observer.emplace(*config.obs.registry, config.obs.labels);
+    network.observers().Add(&*metrics_observer);
+  }
+  if (config.obs.sampler != nullptr) {
+    config.obs.sampler->Start(network, config.obs.sample_period_ms);
+  }
+
   RunResult run;
   TtmqoOptions options;
   options.mode = config.mode;
   options.alpha = config.alpha;
   options.innet = config.innet;
   TtmqoEngine engine(network, *field, &run.results, options);
+  if (config.obs.trace != nullptr) {
+    engine.SetTraceSink(config.obs.trace);
+    config.obs.trace->Emit(
+        TraceEvent("run.start")
+            .With("mode", std::string(OptimizationModeName(config.mode)))
+            .With("nodes", static_cast<std::int64_t>(topology.size()))
+            .With("duration_ms", config.duration_ms)
+            .With("seed", static_cast<std::int64_t>(config.seed)));
+  }
 
   if (config.maintenance_period_ms > 0) {
     network.StartMaintenanceBeacons(config.maintenance_period_ms,
@@ -114,6 +185,22 @@ RunResult RunExperiment(const RunConfig& config,
       samples > 0 ? sum_benefit_ratio / static_cast<double>(samples) : 0.0;
   run.final_benefit_ratio = engine.BenefitRatio();
   run.events_executed = network.sim().events_executed();
+
+  if (config.obs.registry != nullptr) {
+    ExportRunMetrics(*config.obs.registry, config.obs.labels, run, engine);
+  }
+  if (config.obs.trace != nullptr) {
+    TraceEvent end("run.end");
+    end.time = config.duration_ms;
+    config.obs.trace->Emit(
+        end.With("mode", std::string(OptimizationModeName(config.mode)))
+            .With("avg_tx_fraction", run.summary.avg_transmission_fraction)
+            .With("messages",
+                  static_cast<std::int64_t>(run.summary.total_messages))
+            .With("retransmissions",
+                  static_cast<std::int64_t>(run.summary.retransmissions))
+            .With("results", static_cast<std::int64_t>(run.results.size())));
+  }
   return run;
 }
 

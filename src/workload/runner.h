@@ -7,9 +7,13 @@
 #include <vector>
 
 #include "core/ttmqo_engine.h"
+#include "metrics/epoch_sampler.h"
+#include "metrics/registry.h"
 #include "metrics/run_summary.h"
+#include "net/observer.h"
 #include "net/radio.h"
 #include "query/result.h"
+#include "util/tracing.h"
 #include "workload/generator.h"
 
 namespace ttmqo {
@@ -33,6 +37,30 @@ struct NodeFailure {
 enum class TopologyKind {
   kGrid,    ///< the paper's n x n grid
   kRandom,  ///< uniform-random placement (base station at the corner)
+};
+
+/// Optional observability hooks of a run.  Everything is borrowed and must
+/// outlive `RunExperiment`; all default to off.
+struct RunObservability {
+  /// When set, the run feeds per-node/per-class radio counters into the
+  /// registry (via an internal `MetricsObserver`), and exports the final
+  /// `RunSummary`, tier-1 decision counts, and cost-model evaluation
+  /// counts as gauges/counters — all tagged with `labels`.
+  MetricsRegistry* registry = nullptr;
+  /// Extra labels for everything the run writes into `registry`
+  /// (e.g. {{"mode","ttmqo"}} when several runs share one registry).
+  MetricLabels labels;
+  /// When set, receives the engines' decision events ("tier1.*",
+  /// "tier2.*", "engine.*") plus "run.start"/"run.end" brackets.  To also
+  /// capture radio events, add the same `JsonlTraceWriter` to `observers`.
+  TraceSink* trace = nullptr;
+  /// Additional network observers attached for the duration of the run.
+  std::vector<NetworkObserver*> observers;
+  /// When set, `sampler->Start(network, sample_period_ms)` is called before
+  /// the run, producing the per-epoch time series.  A sampler can serve
+  /// only one run.
+  EpochSampler* sampler = nullptr;
+  SimDuration sample_period_ms = kMinEpochDurationMs;
 };
 
 /// Everything a run needs.
@@ -63,6 +91,8 @@ struct RunConfig {
   std::vector<NodeFailure> failures;
   /// Sample engine statistics every this many ms (0 disables sampling).
   SimDuration stats_sample_period_ms = kMinEpochDurationMs;
+  /// Metrics / tracing / time-series hooks (all optional).
+  RunObservability obs;
 };
 
 /// Measurements of one run.
