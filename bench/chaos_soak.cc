@@ -1,0 +1,161 @@
+// Chaos soak harness (robustness extension; the paper defers failures to
+// future work, Section 5).  Draws a seed-deterministic random fault plan —
+// transient outages on up to --down-frac of the sensors plus optional
+// uniform link loss — and runs the TinyDB baseline and the full two-tier
+// scheme (liveness failover + dissemination retries enabled) under the
+// *same* plan, checking reliability invariants on every run:
+//
+//   1. no duplicate rows: the base station never reports one node twice in
+//      one (query, epoch) answer;
+//   2. accounting conservation: per-class message counts sum to the total
+//      and every scheduled outage both begins and recovers;
+//   3. completeness floor: the hardened two-tier scheme delivers at least
+//      --floor of the oracle-expected rows despite the chaos;
+//   4. no spurious link drops when no loss was injected.
+//
+// Exits non-zero on the first violated invariant, so the soak can gate CI.
+//
+// Usage: chaos_soak [--side=6] [--seed=7] [--runs=3] [--epochs=24]
+//                   [--outages=6] [--down-frac=0.2] [--link-loss=0.0]
+//                   [--floor=0.5]
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "metrics/table.h"
+#include "metrics/trace.h"
+#include "query/parser.h"
+#include "util/flags.h"
+#include "workload/runner.h"
+
+namespace ttmqo {
+namespace {
+
+constexpr SimDuration kEpoch = 4096;
+
+/// Rows reported twice for one node in one (query, epoch) answer.
+std::size_t DuplicateRows(const ResultLog& log) {
+  std::size_t duplicates = 0;
+  for (const EpochResult* r : log.All()) {
+    std::map<NodeId, int> seen;
+    for (const Reading& row : r->rows) {
+      if (++seen[row.node()] > 1) ++duplicates;
+    }
+  }
+  return duplicates;
+}
+
+struct SoakOutcome {
+  RunResult run;
+  CountingObserver counts;
+};
+
+int Main(int argc, char** argv) {
+  const Flags flags = Flags::Parse(argc, argv);
+  const auto side = static_cast<std::size_t>(flags.GetInt("side", 6));
+  const auto first_seed = static_cast<std::uint64_t>(flags.GetInt("seed", 7));
+  const auto runs = static_cast<std::uint64_t>(flags.GetInt("runs", 3));
+  const auto epochs = flags.GetInt("epochs", 24);
+  RandomFaultParams params;
+  params.max_outages = static_cast<std::size_t>(flags.GetInt("outages", 6));
+  params.max_down_fraction = flags.GetDouble("down-frac", 0.2);
+  params.link_loss = flags.GetDouble("link-loss", 0.0);
+  const double floor = flags.GetDouble("floor", 0.5);
+  for (const std::string& unread : flags.UnreadFlags()) {
+    std::fprintf(stderr, "unknown flag --%s\n", unread.c_str());
+    return 2;
+  }
+
+  const SimDuration duration = epochs * kEpoch;
+  const auto schedule = StaticSchedule(
+      {ParseQuery(1, "SELECT light WHERE light > 400 EPOCH DURATION 4096"),
+       ParseQuery(2, "SELECT MAX(temp) EPOCH DURATION 8192")});
+
+  std::printf("Chaos soak: %zux%zu grid, %lld ms, <=%zu outages "
+              "(<=%.0f%% of sensors), link loss %.2f, %llu seed(s)\n\n",
+              side, side, static_cast<long long>(duration),
+              params.max_outages, params.max_down_fraction * 100,
+              params.link_loss, static_cast<unsigned long long>(runs));
+
+  TablePrinter table({"seed", "outages", "mode", "completeness %",
+                      "dup rows", "link drops", "messages"});
+  int violations = 0;
+  const auto violate = [&violations](const char* what, std::uint64_t seed) {
+    std::fprintf(stderr, "INVARIANT VIOLATED (seed %llu): %s\n",
+                 static_cast<unsigned long long>(seed), what);
+    ++violations;
+  };
+
+  for (std::uint64_t seed = first_seed; seed < first_seed + runs; ++seed) {
+    const FaultPlan plan =
+        FaultPlan::RandomTransient(params, side * side, duration, seed);
+
+    std::map<OptimizationMode, SoakOutcome> outcomes;
+    for (OptimizationMode mode :
+         {OptimizationMode::kBaseline, OptimizationMode::kTwoTier}) {
+      SoakOutcome& outcome = outcomes[mode];
+      RunConfig config;
+      config.grid_side = side;
+      config.mode = mode;
+      config.duration_ms = duration;
+      config.seed = seed;
+      config.faults = plan;
+      if (mode == OptimizationMode::kTwoTier) {
+        // The hardening under test: overheard-traffic liveness with parent
+        // blacklisting, and retried dissemination for nodes that were down
+        // when a query first flooded.
+        config.innet.liveness_timeout_ms = 2 * kEpoch;
+        config.innet.dissemination_retries = 2;
+      }
+      config.obs.observers.push_back(&outcome.counts);
+      outcome.run = RunExperiment(config, schedule);
+
+      const RunResult& run = outcome.run;
+      const CountingObserver& counts = outcome.counts;
+      const std::size_t duplicates = DuplicateRows(run.results);
+      if (duplicates > 0) violate("duplicate rows at the base station", seed);
+      const std::uint64_t by_class =
+          run.summary.result_messages + run.summary.propagation_messages +
+          run.summary.abort_messages + run.summary.maintenance_messages;
+      if (by_class != run.summary.total_messages) {
+        violate("per-class message counts do not sum to the total", seed);
+      }
+      if (counts.downs != plan.outages().size()) {
+        violate("an outage never began", seed);
+      }
+      if (counts.recoveries != counts.downs) {
+        violate("an outage never recovered", seed);
+      }
+      if (params.link_loss == 0.0 && counts.link_drops != 0) {
+        violate("link drops without injected loss", seed);
+      }
+      if (mode == OptimizationMode::kTwoTier &&
+          run.summary.MinDeliveryCompleteness() < floor) {
+        violate("two-tier completeness below the floor", seed);
+      }
+
+      table.AddRow({std::to_string(seed),
+                    std::to_string(plan.outages().size()),
+                    std::string(OptimizationModeName(mode)),
+                    TablePrinter::Num(
+                        run.summary.AvgDeliveryCompleteness() * 100, 1),
+                    std::to_string(duplicates),
+                    std::to_string(counts.link_drops),
+                    std::to_string(run.summary.total_messages)});
+    }
+  }
+  table.Print(std::cout);
+  if (violations > 0) {
+    std::fprintf(stderr, "\n%d invariant violation(s)\n", violations);
+    return 1;
+  }
+  std::printf("\nall invariants held across %llu seed(s)\n",
+              static_cast<unsigned long long>(runs));
+  return 0;
+}
+
+}  // namespace
+}  // namespace ttmqo
+
+int main(int argc, char** argv) { return ttmqo::Main(argc, argv); }

@@ -27,4 +27,11 @@ run_config build
 export ASAN_OPTIONS=detect_leaks=0
 run_config build-asan -DENABLE_SANITIZERS=ON
 
+# Chaos soak under the sanitizers: random transient outages plus link loss,
+# three seeds each; the binary exits non-zero on any reliability-invariant
+# violation (duplicate rows, missed recovery, completeness below the floor).
+echo "=== chaos soak (sanitized) ==="
+./build-asan/bench/chaos_soak --runs=3 --seed=1
+./build-asan/bench/chaos_soak --runs=3 --seed=1 --link-loss=0.1 --floor=0.4
+
 echo "=== all configurations passed ==="

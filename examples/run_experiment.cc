@@ -8,6 +8,12 @@
 // Prints the run summary, per-mode savings (when --compare is given), and
 // the energy picture.
 //
+// Fault injection (all optional, deterministic):
+//   --fail=<node>@<ms>         permanent crash (repeatable)
+//   --down=<node>@<t0>-<t1>    transient outage [t0, t1) ms (repeatable)
+//   --link-loss=<p>            independent per-delivery loss on every link
+// The resolved fault plan is recorded under "fault_plan" in --metrics-out.
+//
 // Observability outputs (all optional):
 //   --metrics-out=m.json   per-node/per-class counters, run gauges, and the
 //                          per-epoch time series as one JSON document
@@ -23,6 +29,7 @@
 #include <iostream>
 #include <memory>
 
+#include "fault/fault_plan.h"
 #include "metrics/energy.h"
 #include "metrics/epoch_sampler.h"
 #include "metrics/registry.h"
@@ -50,6 +57,44 @@ std::ofstream OpenOutput(const std::string& path) {
   return out;
 }
 
+/// Parses "<node>@<ms>" (for --fail) into its two numbers.
+std::pair<NodeId, SimTime> ParseNodeAt(const std::string& spec,
+                                       const char* flag) {
+  const auto at = spec.find('@');
+  if (at == std::string::npos) {
+    throw std::invalid_argument(std::string("--") + flag +
+                                " expects <node>@<ms>, got '" + spec + "'");
+  }
+  try {
+    return {static_cast<NodeId>(std::stoul(spec.substr(0, at))),
+            static_cast<SimTime>(std::stoll(spec.substr(at + 1)))};
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string("--") + flag +
+                                " expects <node>@<ms>, got '" + spec + "'");
+  }
+}
+
+/// Parses "<node>@<t0>-<t1>" (for --down).
+OutageEvent ParseOutage(const std::string& spec) {
+  const auto at = spec.find('@');
+  const auto dash = spec.find('-', at == std::string::npos ? 0 : at);
+  if (at == std::string::npos || dash == std::string::npos) {
+    throw std::invalid_argument("--down expects <node>@<t0>-<t1>, got '" +
+                                spec + "'");
+  }
+  try {
+    OutageEvent outage;
+    outage.node = static_cast<NodeId>(std::stoul(spec.substr(0, at)));
+    outage.from = static_cast<SimTime>(
+        std::stoll(spec.substr(at + 1, dash - at - 1)));
+    outage.until = static_cast<SimTime>(std::stoll(spec.substr(dash + 1)));
+    return outage;
+  } catch (const std::invalid_argument&) {
+    throw std::invalid_argument("--down expects <node>@<t0>-<t1>, got '" +
+                                spec + "'");
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -71,6 +116,18 @@ int main(int argc, char** argv) {
     config.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
     config.channel.collision_prob = flags.GetDouble("collisions", 0.02);
     config.alpha = flags.GetDouble("alpha", 0.6);
+
+    // Fault injection.
+    for (const std::string& spec : flags.GetAll("fail")) {
+      const auto [node, at] = ParseNodeAt(spec, "fail");
+      config.faults.AddCrash(node, at);
+    }
+    for (const std::string& spec : flags.GetAll("down")) {
+      const OutageEvent outage = ParseOutage(spec);
+      config.faults.AddOutage(outage.node, outage.from, outage.until);
+    }
+    const double link_loss = flags.GetDouble("link-loss", 0.0);
+    if (link_loss > 0.0) config.faults.SetDefaultLinkLoss(link_loss);
 
     std::vector<WorkloadEvent> schedule;
     if (workload == "random") {
@@ -120,7 +177,7 @@ int main(int argc, char** argv) {
     const bool want_epochs = metrics_out.has_value() || epoch_csv.has_value();
 
     TablePrinter table({"mode", "avg tx %", "messages", "retx", "results",
-                        "avg net queries", "sleep %"});
+                        "avg net queries", "sleep %", "delivery %"});
     double baseline_tx = -1.0;
     for (OptimizationMode mode : modes) {
       config.mode = mode;
@@ -152,7 +209,9 @@ int main(int argc, char** argv) {
            std::to_string(run.summary.retransmissions),
            std::to_string(run.results.size()),
            TablePrinter::Num(run.avg_network_queries, 2),
-           TablePrinter::Num(run.summary.avg_sleep_fraction * 100, 1)});
+           TablePrinter::Num(run.summary.avg_sleep_fraction * 100, 1),
+           TablePrinter::Num(run.summary.AvgDeliveryCompleteness() * 100,
+                             1)});
       if (compare && mode == OptimizationMode::kTwoTier &&
           baseline_tx > 0) {
         std::printf("TTMQO saves %.1f%% of average transmission time\n\n",
@@ -166,6 +225,8 @@ int main(int argc, char** argv) {
       std::ofstream out = OpenOutput(*metrics_out);
       out << "{\"workload\":";
       WriteJsonString(out, workload);
+      out << ",\"fault_plan\":";
+      config.faults.WriteJson(out);
       out << ",\"metrics\":";
       registry.WriteJson(out);
       out << ",\"epochs\":";

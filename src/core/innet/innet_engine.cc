@@ -77,7 +77,8 @@ void InNetworkEngine::SubmitQuery(const Query& query) {
   CheckArg(!bs_queries_.contains(query.id()),
            "InNetworkEngine: duplicate query id");
   bs_queries_.emplace(query.id(), BsQueryState(query));
-  nodes_[kBaseStationId].seen_propagation.insert(query.id());
+  nodes_[kBaseStationId].prop_round[query.id()] =
+      std::numeric_limits<int>::max();
   if (trace_ != nullptr) {
     EmitTrace(TraceEvent("tier2.submit")
                   .With("query", static_cast<std::int64_t>(query.id()))
@@ -94,6 +95,33 @@ void InNetworkEngine::SubmitQuery(const Query& query) {
   msg.payload = std::make_shared<InNetPropagationPayload>(
       query, /*has_data=*/false);
   network_.Send(std::move(msg));
+
+  // Dissemination retries: re-flood with an advancing round number so
+  // nodes that were unreachable during the initial flood (transient
+  // outages) still learn the query; termination aborts the retry chain.
+  for (int round = 1; round <= options_.dissemination_retries; ++round) {
+    network_.sim().ScheduleAfter(
+        static_cast<SimDuration>(round) *
+            options_.dissemination_retry_interval_ms,
+        [this, id = query.id(), round]() {
+          const auto it = bs_queries_.find(id);
+          if (it == bs_queries_.end() || it->second.terminated) return;
+          if (trace_ != nullptr) {
+            EmitTrace(TraceEvent("tier2.redisseminate")
+                          .With("query", static_cast<std::int64_t>(id))
+                          .With("round", static_cast<std::int64_t>(round)));
+          }
+          Message refresh;
+          refresh.cls = MessageClass::kQueryPropagation;
+          refresh.mode = AddressMode::kBroadcast;
+          refresh.sender = kBaseStationId;
+          refresh.payload_bytes =
+              PropagationPayloadBytes(it->second.query) + 1;
+          refresh.payload = std::make_shared<InNetPropagationPayload>(
+              it->second.query, /*has_data=*/false, round);
+          network_.Send(std::move(refresh));
+        });
+  }
 
   ScheduleEpochClose(query.id(),
                      AlignUp(network_.sim().Now() + 1, query.epoch()));
@@ -128,41 +156,56 @@ void InNetworkEngine::TerminateQuery(QueryId id) {
 void InNetworkEngine::HandleMessage(NodeId self, const Message& msg,
                                     bool addressed) {
   NodeState& state = nodes_[self];
+  // Liveness: anything heard on the broadcast channel proves the sender is
+  // alive (only tracked when the failover knob is on).
+  if (options_.liveness_timeout_ms > 0) NoteAlive(self, msg.sender);
 
   if (const auto* prop =
           dynamic_cast<const InNetPropagationPayload*>(msg.payload.get())) {
+    const QueryId id = prop->query.id();
     // Piggybacked data bit: learn it from every copy of the flood, even
     // duplicates, but only about upper-level neighbors.
     if (prop->sender_has_data) {
-      NoteHasData(self, msg.sender, {prop->query.id()},
-                  network_.sim().Now());
+      NoteHasData(self, msg.sender, {id}, network_.sim().Now());
     }
-    if (state.seen_propagation.contains(prop->query.id())) return;
-    state.seen_propagation.insert(prop->query.id());
+    // A terminated query must never be reinstalled by a late re-flood.
+    if (state.seen_abort.contains(id)) return;
+    // Round-based dedup: each node installs once and re-forwards once per
+    // dissemination round.
+    const auto round_it = state.prop_round.find(id);
+    const bool first_time = round_it == state.prop_round.end();
+    if (!first_time && round_it->second >= prop->round) return;
+    state.prop_round[id] = prop->round;
     if (self == kBaseStationId) return;
     if (network_.IsAsleep(self)) network_.SetAsleep(self, false);
     bool has_data = false;
-    if (ShouldInstall(self, prop->query)) {
+    if (first_time && ShouldInstall(self, prop->query)) {
       InstallQuery(self, prop->query);
       // Evaluate the piggybacked "I have data" bit from the current field.
       const Reading sample = field_.SampleReading(
           self, network_.topology().PositionOf(self),
           prop->query.AcquiredAttributes(), network_.sim().Now());
       has_data = prop->query.predicates().Matches(sample);
+    } else if (!first_time && state.active.contains(id)) {
+      const Reading sample = field_.SampleReading(
+          self, network_.topology().PositionOf(self),
+          prop->query.AcquiredAttributes(), network_.sim().Now());
+      has_data = prop->query.predicates().Matches(sample);
     }
     if (!ShouldForwardPropagation(self, prop->query)) return;
-    state.relayed_propagation.insert(prop->query.id());
+    state.relayed_propagation.insert(id);
     const Query query = prop->query;
+    const int round = prop->round;
     network_.sim().ScheduleAfter(
-        SourceJitter(self) + 1, [this, self, query, has_data]() {
+        SourceJitter(self) + 1, [this, self, query, has_data, round]() {
           if (network_.IsAsleep(self)) network_.SetAsleep(self, false);
           Message fwd;
           fwd.cls = MessageClass::kQueryPropagation;
           fwd.mode = AddressMode::kBroadcast;
           fwd.sender = self;
           fwd.payload_bytes = PropagationPayloadBytes(query) + 1;
-          fwd.payload =
-              std::make_shared<InNetPropagationPayload>(query, has_data);
+          fwd.payload = std::make_shared<InNetPropagationPayload>(
+              query, has_data, round);
           network_.Send(std::move(fwd));
         });
     return;
@@ -209,16 +252,25 @@ void InNetworkEngine::HandleMessage(NodeId self, const Message& msg,
       BsAccept(msg);
       return;
     }
-    // Keep only the (row, query) pairs this node is responsible for.
+    // Keep only the (row, query) pairs this node is responsible for,
+    // dropping (query, epoch, source) keys already relayed once.
     std::vector<RowEntry> mine;
     for (const RowEntry& entry : row->entries) {
       RowEntry kept;
       kept.row = entry.row;
       for (QueryId q : entry.queries) {
-        if (std::find(it->second.begin(), it->second.end(), q) !=
+        if (std::find(it->second.begin(), it->second.end(), q) ==
             it->second.end()) {
-          kept.queries.push_back(q);
+          continue;
         }
+        if (options_.duplicate_suppression &&
+            !state.seen_rows
+                 .emplace(q, row->epoch_time, entry.row.node())
+                 .second) {
+          ++duplicates_suppressed_;
+          continue;
+        }
+        kept.queries.push_back(q);
       }
       if (!kept.queries.empty()) mine.push_back(std::move(kept));
     }
@@ -329,8 +381,14 @@ void InNetworkEngine::ScheduleTick(NodeId self) {
 
 void InNetworkEngine::OnTick(NodeId self, SimTime t) {
   NodeState& state = nodes_[self];
-  if (network_.IsFailed(self)) return;
+  if (network_.IsFailed(self)) return;  // crashed: the tick chain ends
   if (state.tick_scheduled_for != t) return;  // stale event
+  if (network_.IsDown(self)) {
+    // Transient outage: skip this tick but keep the chain alive so the
+    // node resumes sampling as soon as it recovers.
+    ScheduleTick(self);
+    return;
+  }
   if (network_.IsAsleep(self)) network_.SetAsleep(self, false);
 
   // Sharing over time: all queries firing at t use one sample acquisition.
@@ -423,6 +481,9 @@ void InNetworkEngine::OnTick(NodeId self, SimTime t) {
                 [horizon](const auto& e) { return e.first < horizon; });
   std::erase_if(state.row_buffer,
                 [horizon](const auto& e) { return e.first < horizon; });
+  std::erase_if(state.seen_rows, [horizon](const auto& key) {
+    return std::get<1>(key) < horizon;
+  });
 
   ScheduleTick(self);
 
@@ -437,7 +498,7 @@ void InNetworkEngine::OnTick(NodeId self, SimTime t) {
 
 void InNetworkEngine::OnSlot(NodeId self, SimTime t) {
   NodeState& state = nodes_[self];
-  if (network_.IsFailed(self)) return;
+  if (network_.IsDown(self)) return;  // crashed or in an outage
   if (state.slot_done.contains(t)) return;
   state.slot_done.insert(t);
 
@@ -479,19 +540,29 @@ void InNetworkEngine::OnSlot(NodeId self, SimTime t) {
 // -----------------------------------------------------------------------
 
 std::map<NodeId, std::vector<QueryId>> InNetworkEngine::ChooseParents(
-    NodeId self, std::vector<QueryId> queries) const {
+    NodeId self, std::vector<QueryId> queries) {
   std::map<NodeId, std::vector<QueryId>> groups;
   if (!options_.query_aware_routing) {
     groups.emplace(tree_.ParentOf(self), std::move(queries));
     return groups;
   }
   const NodeState& state = nodes_[self];
-  // Beacon-based failure detection: dead neighbors are not candidates.
-  // When every upper-level neighbor is dead the node is cut off; fall back
-  // to the full list (the messages will be lost, which is the truth).
+  // Beacon-based failure detection plus liveness: dead neighbors are never
+  // candidates, and neighbors silent past the liveness timeout are
+  // blacklisted with bounded backoff.  When every upper-level neighbor is
+  // suspect, fall back to the merely-not-failed set; when all are dead the
+  // node is cut off — fall back to the full list (the messages will be
+  // lost, which is the truth).
   std::vector<NodeId> upper;
   for (NodeId candidate : levels_.UpperNeighbors(self)) {
-    if (!network_.IsFailed(candidate)) upper.push_back(candidate);
+    if (!network_.IsFailed(candidate) && !SuspectParent(self, candidate)) {
+      upper.push_back(candidate);
+    }
+  }
+  if (upper.empty()) {
+    for (NodeId candidate : levels_.UpperNeighbors(self)) {
+      if (!network_.IsFailed(candidate)) upper.push_back(candidate);
+    }
   }
   if (upper.empty()) upper = levels_.UpperNeighbors(self);
   Check(!upper.empty(), "every non-root node has an upper-level neighbor");
@@ -600,6 +671,47 @@ void InNetworkEngine::SendAgg(
   network_.Send(std::move(msg));
 }
 
+void InNetworkEngine::NoteAlive(NodeId self, NodeId sender) {
+  NodeState& state = nodes_[self];
+  SimTime& last = state.last_heard[sender];
+  last = std::max(last, network_.sim().Now());
+  state.suspicion.erase(sender);  // fresh traffic resets the backoff
+}
+
+bool InNetworkEngine::SuspectParent(NodeId self, NodeId candidate) {
+  if (options_.liveness_timeout_ms <= 0) return false;
+  NodeState& state = nodes_[self];
+  const SimTime now = network_.sim().Now();
+  const auto susp_it = state.suspicion.find(candidate);
+  if (susp_it != state.suspicion.end() &&
+      now < susp_it->second.blacklisted_until) {
+    return true;
+  }
+  const auto heard_it = state.last_heard.find(candidate);
+  const SimTime last = heard_it != state.last_heard.end() ? heard_it->second
+                                                          : 0;
+  if (now - last <= options_.liveness_timeout_ms) return false;
+  // Silent past the timeout: blacklist with a doubling, bounded backoff.
+  Suspicion& suspicion = state.suspicion[candidate];
+  suspicion.backoff =
+      suspicion.backoff == 0
+          ? options_.blacklist_base_backoff_ms
+          : std::min(suspicion.backoff * 2, options_.blacklist_max_backoff_ms);
+  suspicion.blacklisted_until = now + suspicion.backoff;
+  // Optimistic probe: pretend the candidate was heard at expiry so it gets
+  // one fresh chance before the next (doubled) blacklist — bounded
+  // re-selection after recovery.
+  SimTime& heard = state.last_heard[candidate];
+  heard = std::max(heard, suspicion.blacklisted_until);
+  if (trace_ != nullptr) {
+    EmitTrace(TraceEvent("tier2.parent_blacklist")
+                  .With("node", static_cast<std::int64_t>(self))
+                  .With("parent", static_cast<std::int64_t>(candidate))
+                  .With("until", suspicion.blacklisted_until));
+  }
+  return true;
+}
+
 void InNetworkEngine::NoteHasData(NodeId self, NodeId sender,
                                   const std::vector<QueryId>& queries,
                                   SimTime when) {
@@ -642,7 +754,13 @@ void InNetworkEngine::BsAccept(const Message& msg) {
         }
         auto bs_it = bs_queries_.find(q);
         if (bs_it == bs_queries_.end() || bs_it->second.terminated) continue;
-        bs_it->second.rows[row->epoch_time].push_back(entry.row);
+        // At most one row per (query, epoch, source): duplicate deliveries
+        // (e.g. a relay re-sending after an ambiguous loss) are dropped.
+        if (!bs_it->second.rows[row->epoch_time]
+                 .try_emplace(entry.row.node(), entry.row)
+                 .second) {
+          ++duplicates_suppressed_;
+        }
       }
     }
     return;
@@ -687,8 +805,10 @@ void InNetworkEngine::CloseEpoch(QueryId id, SimTime epoch_time) {
     auto rows_it = state.rows.find(epoch_time);
     if (rows_it != state.rows.end()) {
       // Shared rows carry the union projection; narrow to this query's
-      // attribute list so the answer matches the baseline's exactly.
-      for (const Reading& row : rows_it->second) {
+      // attribute list so the answer matches the baseline's exactly.  The
+      // per-epoch map is keyed by source node, so rows come out already
+      // deduplicated and in node order.
+      for (const auto& [node, row] : rows_it->second) {
         Reading projected(row.node(), row.time());
         for (Attribute attr : state.query.attributes()) {
           projected.Set(attr, row.GetOrThrow(attr));
@@ -697,10 +817,6 @@ void InNetworkEngine::CloseEpoch(QueryId id, SimTime epoch_time) {
       }
       state.rows.erase(rows_it);
     }
-    std::sort(result.rows.begin(), result.rows.end(),
-              [](const Reading& a, const Reading& b) {
-                return a.node() < b.node();
-              });
   } else {
     std::vector<PartialAggregate> merged;
     auto agg_it = state.partials.find(epoch_time);

@@ -27,6 +27,7 @@
 #include <limits>
 #include <map>
 #include <set>
+#include <tuple>
 #include <vector>
 
 #include "core/innet/payloads.h"
@@ -61,6 +62,26 @@ struct InNetOptions {
   /// Semantic Routing Tree pruning for node-id-based queries (as in the
   /// baseline; Section 3.2.2).
   bool use_semantic_routing = true;
+  /// Liveness-driven failover: a parent candidate silent (nothing heard on
+  /// the broadcast channel) for longer than this is blacklisted and routed
+  /// around.  0 disables liveness tracking entirely (the default: only
+  /// known-failed nodes are avoided).  Pick a timeout larger than the
+  /// maintenance-beacon period to avoid false positives.
+  SimDuration liveness_timeout_ms = 0;
+  /// First blacklist duration; doubled on every repeated offence.
+  SimDuration blacklist_base_backoff_ms = 4096;
+  /// Upper bound of the blacklist backoff (bounded re-selection: a
+  /// recovered parent is re-tried within this horizon at the latest).
+  SimDuration blacklist_max_backoff_ms = 32768;
+  /// Re-flood each query this many times after submission so nodes that
+  /// were unreachable during the initial dissemination still learn it.
+  /// 0 disables retries (the default keeps message counts unchanged).
+  int dissemination_retries = 0;
+  /// Spacing between dissemination re-floods.
+  SimDuration dissemination_retry_interval_ms = 8192;
+  /// Suppress duplicate (query, epoch, source) rows at relays and the base
+  /// station.
+  bool duplicate_suppression = true;
 };
 
 /// The tier-2 engine.  API mirrors `TinyDbEngine`.
@@ -84,10 +105,23 @@ class InNetworkEngine final : public QueryEngine {
   /// the last-resort parent).
   const RoutingTree& routing_tree() const { return tree_; }
 
+  /// Duplicate (query, epoch, source) rows dropped at relays and the base
+  /// station (only counted while `duplicate_suppression` is on).
+  std::uint64_t duplicates_suppressed() const {
+    return duplicates_suppressed_;
+  }
+
  private:
+  /// Liveness suspicion of one parent candidate.
+  struct Suspicion {
+    SimTime blacklisted_until = 0;
+    SimDuration backoff = 0;
+  };
+
   struct NodeState {
     std::map<QueryId, Query> active;
-    std::set<QueryId> seen_propagation;
+    /// Highest dissemination round seen per query (absent = never seen).
+    std::map<QueryId, int> prop_round;
     std::set<QueryId> seen_abort;
     /// Queries whose propagation this node forwarded (abort floods follow
     /// the same prune).
@@ -107,13 +141,23 @@ class InNetworkEngine final : public QueryEngine {
     SimTime last_relay = std::numeric_limits<SimTime>::min();
     /// Whether the node produced data at its last tick.
     bool matched_last_tick = false;
+    /// Liveness: last time anything was heard from each neighbor (only
+    /// maintained when `liveness_timeout_ms > 0`).
+    std::map<NodeId, SimTime> last_heard;
+    /// Currently / previously blacklisted parent candidates.
+    std::map<NodeId, Suspicion> suspicion;
+    /// (query, epoch, source) row keys already relayed (duplicate
+    /// suppression); pruned with the per-tick horizon.
+    std::set<std::tuple<QueryId, SimTime, NodeId>> seen_rows;
   };
 
   struct BsQueryState {
     explicit BsQueryState(Query q) : query(std::move(q)) {}
     Query query;
     bool terminated = false;
-    std::map<SimTime, std::vector<Reading>> rows;
+    /// Rows per epoch keyed by source node — at most one row per source
+    /// (duplicate deliveries are dropped on arrival).
+    std::map<SimTime, std::map<NodeId, Reading>> rows;
     std::map<SimTime, std::vector<PartialAggregate>> partials;
   };
 
@@ -133,9 +177,17 @@ class InNetworkEngine final : public QueryEngine {
   void SendAgg(NodeId self, SimTime t,
                std::map<QueryId, std::vector<PartialAggregate>> partials);
   std::map<NodeId, std::vector<QueryId>> ChooseParents(
-      NodeId self, std::vector<QueryId> queries) const;
+      NodeId self, std::vector<QueryId> queries);
   void NoteHasData(NodeId self, NodeId sender,
                    const std::vector<QueryId>& queries, SimTime when);
+  /// Liveness tracking: records that `self` heard from `sender` now and
+  /// clears any suspicion of it.
+  void NoteAlive(NodeId self, NodeId sender);
+  /// True when `self` should avoid routing through `candidate` because it
+  /// has been silent past the liveness timeout.  Blacklists with bounded
+  /// exponential backoff; the candidate is optimistically re-tried when the
+  /// blacklist expires.
+  bool SuspectParent(NodeId self, NodeId candidate);
   void MaybeSleep(NodeId self, SimTime t);
   SimDuration SourceJitter(NodeId node) const;
   SimDuration SlotOffset(NodeId node) const;
@@ -158,6 +210,7 @@ class InNetworkEngine final : public QueryEngine {
   LevelGraph levels_;
   std::vector<NodeState> nodes_;
   std::map<QueryId, BsQueryState> bs_queries_;
+  std::uint64_t duplicates_suppressed_ = 0;
 };
 
 }  // namespace ttmqo

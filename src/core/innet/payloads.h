@@ -23,11 +23,15 @@ namespace ttmqo {
 /// Query propagation with the piggybacked "sender has data" bit the DAG
 /// bootstrap relies on (Section 3.2.2, Query Propagation Phase).
 struct InNetPropagationPayload final : Payload {
-  InNetPropagationPayload(Query q, bool has_data)
-      : query(std::move(q)), sender_has_data(has_data) {}
+  InNetPropagationPayload(Query q, bool has_data, int r = 0)
+      : query(std::move(q)), sender_has_data(has_data), round(r) {}
   Query query;
   /// Whether the forwarding node's current reading satisfies the query.
   bool sender_has_data;
+  /// Dissemination round: 0 for the initial flood, k for the k-th retry
+  /// re-flood.  Nodes re-forward a query only when the round advances, so
+  /// retries reach late-recovering nodes without looping.
+  int round;
 };
 
 /// One source reading and the acquisition queries it answers.

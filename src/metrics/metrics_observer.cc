@@ -6,9 +6,15 @@ MetricsObserver::MetricsObserver(MetricsRegistry& registry,
                                  MetricLabels base_labels)
     : registry_(&registry), base_labels_(std::move(base_labels)) {
   failures_ = &registry_->GetCounter("net_node_failures_total", base_labels_);
+  downs_ = &registry_->GetCounter("net_node_down_total", base_labels_);
+  recoveries_ =
+      &registry_->GetCounter("net_node_recovered_total", base_labels_);
   tx_duration_ = &registry_->GetHistogram(
       "net_tx_duration_ms", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0},
       base_labels_);
+  recovery_latency_ = &registry_->GetHistogram(
+      "net_node_recovery_latency_ms",
+      {1024.0, 4096.0, 16384.0, 65536.0, 262144.0, 1048576.0}, base_labels_);
 }
 
 MetricLabels MetricsObserver::WithNode(NodeId node) const {
@@ -51,6 +57,22 @@ void MetricsObserver::OnSleepChange(SimTime /*time*/, NodeId node,
 
 void MetricsObserver::OnNodeFailed(SimTime /*time*/, NodeId /*node*/) {
   failures_->Increment();
+}
+
+void MetricsObserver::OnNodeDown(SimTime /*time*/, NodeId /*node*/) {
+  downs_->Increment();
+}
+
+void MetricsObserver::OnNodeRecovered(SimTime /*time*/, NodeId /*node*/,
+                                      SimDuration down_ms) {
+  recoveries_->Increment();
+  recovery_latency_->Observe(static_cast<double>(down_ms));
+}
+
+void MetricsObserver::OnLinkDrop(SimTime /*time*/, const Message& /*msg*/,
+                                 NodeId receiver) {
+  registry_->GetCounter("net_link_drops_total", WithNode(receiver))
+      .Increment();
 }
 
 }  // namespace ttmqo

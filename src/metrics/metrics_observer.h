@@ -22,7 +22,11 @@ namespace ttmqo {
 ///   net_drops_total{node}          messages abandoned after retries
 ///   net_sleep_transitions_total{node}
 ///   net_node_failures_total
+///   net_node_down_total            transient outages begun
+///   net_node_recovered_total       transient outages ended
+///   net_link_drops_total{node}     deliveries lost to lossy links (receiver)
 ///   net_tx_duration_ms             histogram over attempt durations
+///   net_node_recovery_latency_ms   histogram over outage durations
 class MetricsObserver final : public NetworkObserver {
  public:
   /// `registry` must outlive the observer; `base_labels` are appended to
@@ -35,6 +39,9 @@ class MetricsObserver final : public NetworkObserver {
   void OnDrop(SimTime time, const Message& msg) override;
   void OnSleepChange(SimTime time, NodeId node, bool asleep) override;
   void OnNodeFailed(SimTime time, NodeId node) override;
+  void OnNodeDown(SimTime time, NodeId node) override;
+  void OnNodeRecovered(SimTime time, NodeId node, SimDuration down_ms) override;
+  void OnLinkDrop(SimTime time, const Message& msg, NodeId receiver) override;
 
  private:
   MetricLabels WithNode(NodeId node) const;
@@ -43,7 +50,10 @@ class MetricsObserver final : public NetworkObserver {
   MetricsRegistry* registry_;
   MetricLabels base_labels_;
   Counter* failures_;
+  Counter* downs_;
+  Counter* recoveries_;
   HistogramMetric* tx_duration_;
+  HistogramMetric* recovery_latency_;
 };
 
 }  // namespace ttmqo

@@ -1,5 +1,6 @@
 #include "metrics/run_summary.h"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace ttmqo {
@@ -23,6 +24,21 @@ RunSummary RunSummary::FromLedger(const RadioLedger& ledger,
   s.retransmissions = ledger.TotalRetransmissions();
   s.total_messages = ledger.TotalMessages();
   return s;
+}
+
+double RunSummary::MinDeliveryCompleteness() const {
+  double min = 1.0;
+  for (const auto& [id, d] : delivery) {
+    min = std::min(min, d.Completeness());
+  }
+  return min;
+}
+
+double RunSummary::AvgDeliveryCompleteness() const {
+  if (delivery.empty()) return 1.0;
+  double sum = 0.0;
+  for (const auto& [id, d] : delivery) sum += d.Completeness();
+  return sum / static_cast<double>(delivery.size());
 }
 
 std::string RunSummary::ToString() const {

@@ -7,12 +7,30 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 
 #include "net/ledger.h"
+#include "util/ids.h"
 #include "util/time.h"
 
 namespace ttmqo {
+
+/// Delivery completeness of one query: rows actually delivered at the base
+/// station versus rows an omniscient oracle expects given the fault plan
+/// (nodes alive at the sample tick whose reading matches the predicate).
+struct QueryDelivery {
+  std::uint64_t expected = 0;
+  std::uint64_t delivered = 0;
+
+  /// delivered / expected in [0, 1]; 1 when nothing was expected.
+  double Completeness() const {
+    if (expected == 0) return 1.0;
+    const double ratio =
+        static_cast<double>(delivered) / static_cast<double>(expected);
+    return ratio > 1.0 ? 1.0 : ratio;
+  }
+};
 
 /// Measurements of one simulation run.
 struct RunSummary {
@@ -32,10 +50,19 @@ struct RunSummary {
   /// Retransmission attempts and abandoned messages.
   std::uint64_t retransmissions = 0;
   std::uint64_t total_messages = 0;
+  /// Per-query delivery completeness (filled by the runner; empty when the
+  /// workload has no user queries).
+  std::map<QueryId, QueryDelivery> delivery;
 
   /// Snapshots `ledger` over an `elapsed` window.
   static RunSummary FromLedger(const RadioLedger& ledger,
                                SimDuration elapsed);
+
+  /// Smallest per-query completeness (1 when `delivery` is empty).
+  double MinDeliveryCompleteness() const;
+
+  /// Mean per-query completeness (1 when `delivery` is empty).
+  double AvgDeliveryCompleteness() const;
 
   /// One-line rendering for logs and benches.
   std::string ToString() const;

@@ -50,6 +50,28 @@ void JsonlTraceWriter::OnNodeFailed(SimTime time, NodeId node) {
         << "}\n";
 }
 
+void JsonlTraceWriter::OnNodeDown(SimTime time, NodeId node) {
+  ++events_;
+  *out_ << "{\"event\":\"down\",\"t\":" << time << ",\"node\":" << node
+        << "}\n";
+}
+
+void JsonlTraceWriter::OnNodeRecovered(SimTime time, NodeId node,
+                                       SimDuration down_ms) {
+  ++events_;
+  *out_ << "{\"event\":\"recover\",\"t\":" << time << ",\"node\":" << node
+        << ",\"down_ms\":" << down_ms << "}\n";
+}
+
+void JsonlTraceWriter::OnLinkDrop(SimTime time, const Message& msg,
+                                  NodeId receiver) {
+  ++events_;
+  *out_ << "{\"event\":\"linkdrop\",\"t\":" << time << ",\"from\":"
+        << msg.sender << ",\"to\":" << receiver << ",\"class\":";
+  WriteJsonString(*out_, MessageClassName(msg.cls));
+  *out_ << "}\n";
+}
+
 void JsonlTraceWriter::Emit(const TraceEvent& event) {
   ++events_;
   WriteTraceEventJson(*out_, event);

@@ -36,6 +36,9 @@ class JsonlTraceWriter final : public NetworkObserver, public TraceSink {
   void OnDrop(SimTime time, const Message& msg) override;
   void OnSleepChange(SimTime time, NodeId node, bool asleep) override;
   void OnNodeFailed(SimTime time, NodeId node) override;
+  void OnNodeDown(SimTime time, NodeId node) override;
+  void OnNodeRecovered(SimTime time, NodeId node, SimDuration down_ms) override;
+  void OnLinkDrop(SimTime time, const Message& msg, NodeId receiver) override;
 
   // TraceSink:
   void Emit(const TraceEvent& event) override;
@@ -64,12 +67,18 @@ class CountingObserver final : public NetworkObserver {
     if (asleep) ++sleeps;
   }
   void OnNodeFailed(SimTime, NodeId) override { ++failures; }
+  void OnNodeDown(SimTime, NodeId) override { ++downs; }
+  void OnNodeRecovered(SimTime, NodeId, SimDuration) override { ++recoveries; }
+  void OnLinkDrop(SimTime, const Message&, NodeId) override { ++link_drops; }
 
   std::uint64_t transmissions = 0;
   std::uint64_t retransmissions = 0;
   std::uint64_t drops = 0;
   std::uint64_t sleeps = 0;
   std::uint64_t failures = 0;
+  std::uint64_t downs = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t link_drops = 0;
 };
 
 }  // namespace ttmqo

@@ -16,6 +16,9 @@ Network::Network(const Topology& topology, RadioParams radio,
       receivers_(topology.size()),
       asleep_(topology.size(), false),
       failed_(topology.size(), false),
+      down_(topology.size(), false),
+      down_since_(topology.size(), 0),
+      loss_rng_(seed ^ 0x6c6f7373ULL),
       sleep_since_(topology.size(), 0),
       busy_until_(topology.size(), 0) {
   channel_.Validate();
@@ -26,7 +29,7 @@ void Network::SetReceiver(NodeId node, Receiver receiver) {
 }
 
 void Network::SetAsleep(NodeId node, bool asleep) {
-  if (failed_.at(node)) return;  // dead nodes have no power state
+  if (failed_.at(node) || down_.at(node)) return;  // no power state while dark
   if (asleep_.at(node) == asleep) return;
   asleep_[node] = asleep;
   if (!observers_.empty()) observers_.OnSleepChange(sim_.Now(), node, asleep);
@@ -44,6 +47,10 @@ void Network::FailNode(NodeId node) {
   CheckArg(node != kBaseStationId, "Network::FailNode: cannot fail the sink");
   CheckArg(node < topology_->size(), "Network::FailNode: bad node");
   if (failed_[node]) return;
+  if (down_[node]) {  // a crash absorbs a pending outage
+    down_[node] = false;
+    --num_down_;
+  }
   failed_[node] = true;
   ++num_failed_;
   if (!observers_.empty()) observers_.OnNodeFailed(sim_.Now(), node);
@@ -51,9 +58,65 @@ void Network::FailNode(NodeId node) {
 
 bool Network::IsFailed(NodeId node) const { return failed_.at(node); }
 
+void Network::SetDown(NodeId node) {
+  CheckArg(node != kBaseStationId, "Network::SetDown: cannot down the sink");
+  CheckArg(node < topology_->size(), "Network::SetDown: bad node");
+  if (failed_[node] || down_[node]) return;
+  if (asleep_[node]) SetAsleep(node, false);  // close the open sleep span
+  down_[node] = true;
+  down_since_[node] = sim_.Now();
+  ++num_down_;
+  if (!observers_.empty()) observers_.OnNodeDown(sim_.Now(), node);
+}
+
+void Network::Recover(NodeId node) {
+  CheckArg(node < topology_->size(), "Network::Recover: bad node");
+  if (failed_[node] || !down_[node]) return;
+  down_[node] = false;
+  --num_down_;
+  if (!observers_.empty()) {
+    observers_.OnNodeRecovered(sim_.Now(), node,
+                               sim_.Now() - down_since_[node]);
+  }
+}
+
+bool Network::IsDown(NodeId node) const {
+  return failed_.at(node) || down_.at(node);
+}
+
+void Network::SetDefaultLinkLoss(double p) {
+  CheckArg(p >= 0.0 && p < 1.0,
+           "Network::SetDefaultLinkLoss: p must be in [0,1)");
+  default_link_loss_ = p;
+}
+
+namespace {
+std::pair<NodeId, NodeId> LinkKey(NodeId a, NodeId b) {
+  return {std::min(a, b), std::max(a, b)};
+}
+}  // namespace
+
+void Network::SetLinkLoss(NodeId a, NodeId b, double p) {
+  CheckArg(p >= 0.0 && p < 1.0, "Network::SetLinkLoss: p must be in [0,1)");
+  CheckArg(topology_->AreNeighbors(a, b),
+           "Network::SetLinkLoss: nodes are not radio neighbors");
+  link_loss_[LinkKey(a, b)] = p;
+}
+
+void Network::ClearLinkLoss(NodeId a, NodeId b) {
+  link_loss_.erase(LinkKey(a, b));
+}
+
+double Network::LinkLossOf(NodeId a, NodeId b) const {
+  const auto it = link_loss_.find(LinkKey(a, b));
+  return it != link_loss_.end() ? it->second : default_link_loss_;
+}
+
 void Network::Send(Message msg) {
   CheckArg(msg.sender < topology_->size(), "Network::Send: bad sender");
-  if (failed_[msg.sender]) return;  // a dead radio transmits nothing
+  if (failed_[msg.sender] || down_[msg.sender]) {
+    return;  // a dark radio transmits nothing
+  }
   CheckArg(!asleep_[msg.sender], "Network::Send: sender is asleep");
   if (msg.mode == AddressMode::kBroadcast) {
     CheckArg(msg.destinations.empty(),
@@ -93,8 +156,8 @@ void Network::BeginAttempt(Message msg, int attempt) {
 
 void Network::CompleteAttempt(const Message& msg, int attempt,
                               SimTime started) {
-  if (failed_[msg.sender]) return;  // died mid-air: nothing is delivered
-  // Retire this flight record.
+  // Retire this flight record (even for a sender that went dark mid-air, so
+  // stale flights never linger in the interference count).
   const SimTime end = sim_.Now();
   const auto it = std::find_if(
       in_flight_.begin(), in_flight_.end(), [&](const Flight& f) {
@@ -102,6 +165,9 @@ void Network::CompleteAttempt(const Message& msg, int attempt,
       });
   const std::size_t interferers = CountInterferers(msg.sender, started);
   if (it != in_flight_.end()) in_flight_.erase(it);
+  if (failed_[msg.sender] || down_[msg.sender]) {
+    return;  // went dark mid-air: nothing is delivered, retries die
+  }
 
   bool collided = false;
   if (channel_.collision_prob > 0.0 && interferers > 0) {
@@ -145,7 +211,7 @@ std::size_t Network::CountInterferers(NodeId sender, SimTime started) const {
 
 void Network::Deliver(const Message& msg) {
   for (NodeId neighbor : topology_->NeighborsOf(msg.sender)) {
-    if (failed_[neighbor]) continue;
+    if (failed_[neighbor] || down_[neighbor]) continue;
     const Receiver& receiver = receivers_[neighbor];
     if (!receiver) continue;
     const bool addressed =
@@ -155,6 +221,16 @@ void Network::Deliver(const Message& msg) {
     // Low-power listening: a sleeping radio still catches traffic addressed
     // to it (the sender's preamble wakes it) but cannot overhear.
     if (asleep_[neighbor] && !addressed) continue;
+    // Independent per-receiver link loss (orthogonal to the contention
+    // model): the sender never learns about the loss and does not retry.
+    const double loss = LinkLossOf(msg.sender, neighbor);
+    if (loss > 0.0 && loss_rng_.Bernoulli(loss)) {
+      ++link_drops_;
+      if (!observers_.empty()) {
+        observers_.OnLinkDrop(sim_.Now(), msg, neighbor);
+      }
+      continue;
+    }
     if (addressed) ledger_.CountReceive(neighbor);
     receiver(msg, addressed);
   }
@@ -171,7 +247,7 @@ void Network::StartMaintenanceBeacons(SimDuration period,
     auto beacon = std::make_shared<std::function<void()>>();
     *beacon = [this, node, period, payload_bytes, beacon]() {
       if (failed_[node]) return;  // a dead node's beacon chain ends
-      if (!asleep_[node]) {
+      if (!asleep_[node] && !down_[node]) {
         Message msg;
         msg.cls = MessageClass::kMaintenance;
         msg.mode = AddressMode::kBroadcast;

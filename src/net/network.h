@@ -82,6 +82,38 @@ class Network {
   /// Number of failed nodes.
   std::size_t NumFailed() const { return num_failed_; }
 
+  /// Begins a transient outage: the node neither sends, receives, nor
+  /// overhears until `Recover`.  Unlike `FailNode` the outage is *silent* —
+  /// engines get no failure signal and must detect it via liveness.  No-op
+  /// on failed or already-down nodes; the base station cannot go down.
+  void SetDown(NodeId node);
+
+  /// Ends a transient outage (no-op unless the node is down).
+  void Recover(NodeId node);
+
+  /// True when the node is currently unreachable (failed or in an outage).
+  bool IsDown(NodeId node) const;
+
+  /// Number of nodes currently in a transient outage.
+  std::size_t NumDown() const { return num_down_; }
+
+  /// Probability that a delivery on any link without a per-link override is
+  /// lost (independent per receiver; the sender never notices).
+  void SetDefaultLinkLoss(double p);
+
+  /// Sets a per-link loss probability override for the (symmetric) link
+  /// a—b; both must be radio neighbors.
+  void SetLinkLoss(NodeId a, NodeId b, double p);
+
+  /// Removes the per-link override, restoring the default loss.
+  void ClearLinkLoss(NodeId a, NodeId b);
+
+  /// Effective loss probability of the link a—b.
+  double LinkLossOf(NodeId a, NodeId b) const;
+
+  /// Deliveries lost to lossy links so far (all links).
+  std::uint64_t link_drops() const { return link_drops_; }
+
   /// Queues `msg` for transmission from `msg.sender`.  Destinations must be
   /// radio neighbors of the sender.  The transmission starts when the
   /// sender's radio is free and is delivered (or retried) per the channel
@@ -134,6 +166,14 @@ class Network {
   std::vector<bool> asleep_;
   std::vector<bool> failed_;
   std::size_t num_failed_ = 0;
+  std::vector<bool> down_;
+  std::vector<SimTime> down_since_;
+  std::size_t num_down_ = 0;
+  double default_link_loss_ = 0.0;
+  /// Per-link loss overrides, keyed by the normalized (low, high) pair.
+  std::map<std::pair<NodeId, NodeId>, double> link_loss_;
+  std::uint64_t link_drops_ = 0;
+  Rng loss_rng_;
   std::vector<SimTime> sleep_since_;
   std::vector<SimTime> busy_until_;
   std::vector<Flight> in_flight_;

@@ -39,4 +39,18 @@ void ObserverMux::OnNodeFailed(SimTime time, NodeId node) {
   for (NetworkObserver* o : observers_) o->OnNodeFailed(time, node);
 }
 
+void ObserverMux::OnNodeDown(SimTime time, NodeId node) {
+  for (NetworkObserver* o : observers_) o->OnNodeDown(time, node);
+}
+
+void ObserverMux::OnNodeRecovered(SimTime time, NodeId node,
+                                  SimDuration down_ms) {
+  for (NetworkObserver* o : observers_) o->OnNodeRecovered(time, node, down_ms);
+}
+
+void ObserverMux::OnLinkDrop(SimTime time, const Message& msg,
+                             NodeId receiver) {
+  for (NetworkObserver* o : observers_) o->OnLinkDrop(time, msg, receiver);
+}
+
 }  // namespace ttmqo

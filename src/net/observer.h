@@ -28,8 +28,17 @@ class NetworkObserver {
   /// A node changed power state.
   virtual void OnSleepChange(SimTime /*time*/, NodeId /*node*/,
                              bool /*asleep*/) {}
-  /// A node crashed.
+  /// A node crashed (permanent fault).
   virtual void OnNodeFailed(SimTime /*time*/, NodeId /*node*/) {}
+  /// A node entered a transient outage (it will recover).
+  virtual void OnNodeDown(SimTime /*time*/, NodeId /*node*/) {}
+  /// A node recovered from a transient outage that lasted `down_ms`.
+  virtual void OnNodeRecovered(SimTime /*time*/, NodeId /*node*/,
+                               SimDuration /*down_ms*/) {}
+  /// A delivery to `receiver` was lost on a lossy link (independent of the
+  /// contention model; the sender does not retry).
+  virtual void OnLinkDrop(SimTime /*time*/, const Message& /*msg*/,
+                          NodeId /*receiver*/) {}
 };
 
 /// Fans radio events out to every registered observer, in registration
@@ -54,6 +63,9 @@ class ObserverMux final : public NetworkObserver {
   void OnDrop(SimTime time, const Message& msg) override;
   void OnSleepChange(SimTime time, NodeId node, bool asleep) override;
   void OnNodeFailed(SimTime time, NodeId node) override;
+  void OnNodeDown(SimTime time, NodeId node) override;
+  void OnNodeRecovered(SimTime time, NodeId node, SimDuration down_ms) override;
+  void OnLinkDrop(SimTime time, const Message& msg, NodeId receiver) override;
 
  private:
   std::vector<NetworkObserver*> observers_;

@@ -339,7 +339,7 @@ void TinyDbEngine::BsAccept(const Message& msg) {
   if (const auto* row = dynamic_cast<const RowPayload*>(msg.payload.get())) {
     auto it = bs_queries_.find(row->query);
     if (it == bs_queries_.end() || it->second.terminated) return;
-    it->second.rows[row->epoch_time].push_back(row->row);
+    it->second.rows[row->epoch_time].try_emplace(row->row.node(), row->row);
     return;
   }
   if (const auto* agg = dynamic_cast<const AggPayload*>(msg.payload.get())) {
@@ -375,13 +375,14 @@ void TinyDbEngine::CloseEpoch(QueryId id, SimTime epoch_time) {
   if (state.query.kind() == QueryKind::kAcquisition) {
     auto rows_it = state.rows.find(epoch_time);
     if (rows_it != state.rows.end()) {
-      result.rows = std::move(rows_it->second);
+      // The per-epoch map is keyed by source node, so rows come out
+      // deduplicated and already in node order.
+      result.rows.reserve(rows_it->second.size());
+      for (auto& [node, row] : rows_it->second) {
+        result.rows.push_back(std::move(row));
+      }
       state.rows.erase(rows_it);
     }
-    std::sort(result.rows.begin(), result.rows.end(),
-              [](const Reading& a, const Reading& b) {
-                return a.node() < b.node();
-              });
   } else {
     std::vector<PartialAggregate> merged;
     auto agg_it = state.partials.find(epoch_time);

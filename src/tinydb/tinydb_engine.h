@@ -92,8 +92,9 @@ class TinyDbEngine final : public QueryEngine {
     explicit BsQueryState(Query q) : query(std::move(q)) {}
     Query query;
     bool terminated = false;
-    /// Rows per open epoch (acquisition).
-    std::map<SimTime, std::vector<Reading>> rows;
+    /// Rows per open epoch (acquisition), keyed by source node — at most
+    /// one row per source; duplicate deliveries are dropped on arrival.
+    std::map<SimTime, std::map<NodeId, Reading>> rows;
     /// Partials per open epoch (aggregation).
     std::map<SimTime, std::vector<PartialAggregate>> partials;
   };

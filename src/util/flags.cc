@@ -21,13 +21,20 @@ Flags Flags::Parse(int argc, const char* const* argv) {
     }
     arg.erase(0, 2);
     const auto eq = arg.find('=');
+    std::string name;
+    std::string value;
     if (eq != std::string::npos) {
-      flags.values_[arg.substr(0, eq)] = {arg.substr(eq + 1), false};
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
     } else if (i + 1 < argc && !LooksLikeFlag(argv[i + 1])) {
-      flags.values_[arg] = {argv[++i], false};
+      name = std::move(arg);
+      value = argv[++i];
     } else {
-      flags.values_[arg] = {"true", false};  // bare boolean flag
+      name = std::move(arg);
+      value = "true";  // bare boolean flag
     }
+    flags.repeated_[name].push_back(value);
+    flags.values_[name] = {std::move(value), false};
   }
   return flags;
 }
@@ -81,6 +88,13 @@ bool Flags::GetBool(const std::string& name, bool fallback) const {
   if (v == "false" || v == "0") return false;
   throw std::invalid_argument("flag --" + name + " expects a boolean, got '" +
                               v + "'");
+}
+
+std::vector<std::string> Flags::GetAll(const std::string& name) const {
+  const auto it = repeated_.find(name);
+  if (it == repeated_.end()) return {};
+  values_[name].second = true;
+  return it->second;
 }
 
 bool Flags::Has(const std::string& name) const {

@@ -37,6 +37,11 @@ class Flags {
   /// Returns the flag as bool ("true"/"false"/"1"/"0"); bare `--name` is true.
   bool GetBool(const std::string& name, bool fallback) const;
 
+  /// Every occurrence of a repeatable flag, in command-line order (e.g.
+  /// `--fail=3@5000 --fail=7@9000`); empty when the flag is absent.  The
+  /// single-value getters see the last occurrence.
+  std::vector<std::string> GetAll(const std::string& name) const;
+
   /// True when the flag was supplied.
   bool Has(const std::string& name) const;
 
@@ -48,6 +53,8 @@ class Flags {
 
  private:
   mutable std::map<std::string, std::pair<std::string, bool>> values_;
+  /// Every occurrence per flag, for repeatable flags.
+  std::map<std::string, std::vector<std::string>> repeated_;
   std::vector<std::string> positional_;
 };
 

@@ -7,6 +7,7 @@
 #include "metrics/metrics_observer.h"
 #include "net/topology.h"
 #include "util/check.h"
+#include "util/mathx.h"
 
 namespace ttmqo {
 namespace {
@@ -32,6 +33,18 @@ void ExportRunMetrics(MetricsRegistry& registry, const MetricLabels& labels,
       .Add(static_cast<double>(run.summary.total_messages));
   registry.GetCounter("run_retransmissions_total", labels)
       .Add(static_cast<double>(run.summary.retransmissions));
+  registry.GetGauge("run_delivery_completeness_avg", labels)
+      .Set(run.summary.AvgDeliveryCompleteness());
+  registry.GetGauge("run_delivery_completeness_min", labels)
+      .Set(run.summary.MinDeliveryCompleteness());
+  double expected = 0.0;
+  double delivered = 0.0;
+  for (const auto& [id, d] : run.summary.delivery) {
+    expected += static_cast<double>(d.expected);
+    delivered += static_cast<double>(d.delivered);
+  }
+  registry.GetGauge("run_rows_expected", labels).Set(expected);
+  registry.GetGauge("run_rows_delivered", labels).Set(delivered);
 
   registry.GetCounter("tier1_cost_evaluations_total", labels)
       .Add(static_cast<double>(engine.cost_model().cost_evaluations()));
@@ -51,6 +64,69 @@ void ExportRunMetrics(MetricsRegistry& registry, const MetricLabels& labels,
     decision("retired", d.retired);
     decision("rebuilt", d.rebuilt);
     decision("kept", d.kept);
+  }
+}
+
+/// Fills `run.summary.delivery` from an omniscient oracle: for each user
+/// query and epoch tick inside its lifetime, a row is *expected* from every
+/// node that is reachable under the fault plan at the tick and whose field
+/// reading matches the predicates — exactly the engines' own production
+/// criterion.  Delivered counts come from the base station's answer log.
+/// Nodes that are up but never learned a query (disseminated during their
+/// outage) therefore count against completeness, which is the point.
+void FillDeliveryCompleteness(RunResult& run, const RunConfig& config,
+                              const std::vector<WorkloadEvent>& schedule,
+                              const FaultPlan& plan,
+                              const Topology& topology,
+                              const FieldModel& field) {
+  std::map<QueryId, SimTime> terminate_at;
+  for (const WorkloadEvent& event : schedule) {
+    if (event.kind == WorkloadEvent::Kind::kTerminate) {
+      terminate_at[event.id] = event.time;
+    }
+  }
+  for (const WorkloadEvent& event : schedule) {
+    if (event.kind != WorkloadEvent::Kind::kSubmit) continue;
+    const Query& query = *event.query;
+    QueryDelivery delivery;
+    const auto tt = terminate_at.find(query.id());
+    const auto attrs = query.AcquiredAttributes();
+    for (SimTime t = AlignUp(event.time + 1, query.epoch());
+         t + query.epoch() <= config.duration_ms &&
+         (tt == terminate_at.end() || t + query.epoch() < tt->second);
+         t += query.epoch()) {
+      const EpochResult* result = run.results.Find(query.id(), t);
+      if (query.kind() == QueryKind::kAcquisition) {
+        for (NodeId node = 1; node < topology.size(); ++node) {
+          if (!plan.AliveAt(node, t)) continue;
+          const Reading sample = field.SampleReading(
+              node, topology.PositionOf(node), attrs, t);
+          if (query.predicates().Matches(sample)) ++delivery.expected;
+        }
+        if (result != nullptr) {
+          delivery.delivered +=
+              static_cast<std::uint64_t>(result->rows.size());
+        }
+      } else {
+        bool any_match = false;
+        for (NodeId node = 1; node < topology.size() && !any_match; ++node) {
+          if (!plan.AliveAt(node, t)) continue;
+          const Reading sample = field.SampleReading(
+              node, topology.PositionOf(node), attrs, t);
+          any_match = query.predicates().Matches(sample);
+        }
+        if (any_match) ++delivery.expected;
+        if (result != nullptr) {
+          for (const auto& [spec, value] : result->aggregates) {
+            if (value.has_value()) {
+              ++delivery.delivered;
+              break;
+            }
+          }
+        }
+      }
+    }
+    run.summary.delivery[query.id()] = delivery;
   }
 }
 
@@ -77,6 +153,15 @@ RunResult RunExperiment(const RunConfig& config,
                         const std::vector<WorkloadEvent>& schedule) {
   CheckArg(config.duration_ms > 0, "RunExperiment: duration must be positive");
 
+  // Merge the legacy crash list into the declarative plan and validate the
+  // whole schedule up front: a fault targeting the base station, a dead
+  // node, or a window outside the run fails here with a clear message
+  // instead of throwing from inside the event loop.
+  FaultPlan faults = config.faults;
+  for (const NodeFailure& failure : config.failures) {
+    faults.AddCrash(failure.node, failure.time);
+  }
+
   const Topology topology =
       config.topology == TopologyKind::kGrid
           ? Topology::Grid(config.grid_side, config.grid_spacing_feet,
@@ -85,6 +170,7 @@ RunResult RunExperiment(const RunConfig& config,
                                     config.random_side_feet,
                                     config.radio.range_feet,
                                     config.seed ^ 0x70b0ULL);
+  faults.Validate(topology, config.duration_ms);
   Network network(topology, config.radio, config.channel, config.seed);
   const std::unique_ptr<FieldModel> field =
       MakeFieldModel(config.field, config.seed);
@@ -148,14 +234,8 @@ RunResult RunExperiment(const RunConfig& config,
     }
   }
 
-  // Crash faults.
-  for (const NodeFailure& failure : config.failures) {
-    CheckArg(failure.time >= 0 && failure.time < config.duration_ms,
-             "RunExperiment: failure outside the run window");
-    network.sim().ScheduleAt(failure.time, [&network, failure]() {
-      network.FailNode(failure.node);
-    });
-  }
+  // Fault injection (crashes, outages, link loss, partitions).
+  faults.ScheduleOn(network, config.obs.trace);
 
   // Periodic statistics sampler (time-weighted averages).
   double sum_network_queries = 0.0;
@@ -185,6 +265,7 @@ RunResult RunExperiment(const RunConfig& config,
       samples > 0 ? sum_benefit_ratio / static_cast<double>(samples) : 0.0;
   run.final_benefit_ratio = engine.BenefitRatio();
   run.events_executed = network.sim().events_executed();
+  FillDeliveryCompleteness(run, config, schedule, faults, topology, *field);
 
   if (config.obs.registry != nullptr) {
     ExportRunMetrics(*config.obs.registry, config.obs.labels, run, engine);

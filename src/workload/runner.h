@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/ttmqo_engine.h"
+#include "fault/fault_plan.h"
 #include "metrics/epoch_sampler.h"
 #include "metrics/registry.h"
 #include "metrics/run_summary.h"
@@ -87,8 +88,13 @@ struct RunConfig {
   std::size_t maintenance_payload_bytes = 6;
   /// Master seed (field, link quality, channel).
   std::uint64_t seed = 1;
-  /// Crash faults injected during the run.
+  /// Crash faults injected during the run (legacy shorthand; merged into
+  /// `faults` as crashes before the run starts).
   std::vector<NodeFailure> failures;
+  /// Declarative fault schedule (crashes, outages, link loss, partitions).
+  /// Validated up front against the deployment and duration; a bad
+  /// schedule fails fast with a clear error instead of mid-run.
+  FaultPlan faults;
   /// Sample engine statistics every this many ms (0 disables sampling).
   SimDuration stats_sample_period_ms = kMinEpochDurationMs;
   /// Metrics / tracing / time-series hooks (all optional).

@@ -1,0 +1,68 @@
+// Fast fault-tolerance smoke (the ctest-sized cut of
+// bench/fault_tolerance.cc): a 4x4 grid loses two relays mid-run with a
+// fixed seed; the two-tier scheme's dynamic DAG must keep post-failure
+// delivery at least as high as the TinyDB baseline's fixed tree, and its
+// completeness accounting must reflect the crashes.
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+#include "workload/runner.h"
+#include "workload/static_workloads.h"
+
+namespace ttmqo {
+namespace {
+
+constexpr SimDuration kEpoch = 4096;
+constexpr SimTime kFailTime = 4 * kEpoch + 500;
+constexpr SimDuration kDuration = 16 * kEpoch;
+constexpr SimTime kMeasureFrom = 6 * kEpoch;
+
+std::size_t RowsAfter(const ResultLog& log, QueryId query, SimTime from) {
+  std::size_t rows = 0;
+  for (const EpochResult* r : log.ResultsFor(query)) {
+    if (r->epoch_time >= from) rows += r->rows.size();
+  }
+  return rows;
+}
+
+TEST(FaultSmokeTest, TwoTierSurvivesTwoMidGridCrashes) {
+  const Query query =
+      ParseQuery(1, "SELECT light WHERE light > 400 EPOCH DURATION 4096");
+  const auto schedule = StaticSchedule({query});
+
+  std::size_t delivered[2];
+  double completeness[2];
+  for (int i = 0; i < 2; ++i) {
+    RunConfig config;
+    config.grid_side = 4;
+    config.mode = i == 0 ? OptimizationMode::kBaseline
+                         : OptimizationMode::kTwoTier;
+    config.duration_ms = kDuration;
+    config.seed = 33;
+    // Two mid-grid relays crash after epoch 4 (fixed victims keep the smoke
+    // deterministic and fast; the full sweep lives in the bench).
+    config.faults.AddCrash(5, kFailTime).AddCrash(6, kFailTime);
+    const RunResult run = RunExperiment(config, schedule);
+    delivered[i] = RowsAfter(run.results, query.id(), kMeasureFrom);
+    completeness[i] = run.summary.AvgDeliveryCompleteness();
+
+    // Crashed nodes never report after the failure settles.
+    for (const EpochResult* r : run.results.ResultsFor(query.id())) {
+      if (r->epoch_time < kMeasureFrom) continue;
+      for (const Reading& row : r->rows) {
+        EXPECT_NE(row.node(), 5);
+        EXPECT_NE(row.node(), 6);
+      }
+    }
+  }
+  EXPECT_GT(delivered[1], 0u);
+  EXPECT_GE(delivered[1], delivered[0])
+      << "the dynamic DAG should deliver at least as much as the fixed tree";
+  EXPECT_GE(completeness[1], completeness[0] - 1e-9);
+  // The oracle already discounts the dead sensors, so the two-tier scheme
+  // should stay close to complete.
+  EXPECT_GE(completeness[1], 0.8);
+}
+
+}  // namespace
+}  // namespace ttmqo
