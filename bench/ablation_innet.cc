@@ -33,10 +33,7 @@ int Main(int argc, char** argv) {
   const SimDuration duration = flags.GetInt("duration-ms", 40 * 12288);
   const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 21));
   const auto side = static_cast<std::size_t>(flags.GetInt("side", 8));
-  for (const std::string& unread : flags.UnreadFlags()) {
-    std::fprintf(stderr, "unknown flag --%s\n", unread.c_str());
-    return 2;
-  }
+  if (ReportUnreadFlags(flags)) return 2;
 
   const Variant variants[] = {
       {"full", true, true, true},

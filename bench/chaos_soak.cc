@@ -62,10 +62,7 @@ int Main(int argc, char** argv) {
   params.max_down_fraction = flags.GetDouble("down-frac", 0.2);
   params.link_loss = flags.GetDouble("link-loss", 0.0);
   const double floor = flags.GetDouble("floor", 0.5);
-  for (const std::string& unread : flags.UnreadFlags()) {
-    std::fprintf(stderr, "unknown flag --%s\n", unread.c_str());
-    return 2;
-  }
+  if (ReportUnreadFlags(flags)) return 2;
 
   const SimDuration duration = epochs * kEpoch;
   const auto schedule = StaticSchedule(

@@ -58,10 +58,7 @@ int Main(int argc, char** argv) {
   const Flags flags = Flags::Parse(argc, argv);
   const auto side = static_cast<std::size_t>(flags.GetInt("side", 8));
   const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 33));
-  for (const std::string& unread : flags.UnreadFlags()) {
-    std::fprintf(stderr, "unknown flag --%s\n", unread.c_str());
-    return 2;
-  }
+  if (ReportUnreadFlags(flags)) return 2;
 
   const Topology topology = Topology::Grid(side);
   const auto field = MakeFieldModel(FieldKind::kCorrelated, seed);

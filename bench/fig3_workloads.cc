@@ -18,8 +18,14 @@
 // real CSMA stack and explicitly count retransmissions, and the chattier a
 // scheme the more it pays.  Pass --collisions=0 for a lossless channel.
 //
+// The 24 (grid, workload, mode) cells are independent simulations; they
+// run on the sweep orchestrator's thread pool (--jobs) and are collected
+// by task index, so the tables are identical for any job count.  A shared
+// --trace-out writer is not thread-safe, so tracing forces --jobs=1.
+//
 // Usage: fig3_workloads [--duration-ms=N] [--seed=N] [--collisions=P]
-//                       [--metrics-out=fig3.json] [--trace-out=fig3.jsonl]
+//                       [--jobs=N] [--metrics-out=fig3.json]
+//                       [--trace-out=fig3.jsonl]
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -28,6 +34,7 @@
 #include "metrics/registry.h"
 #include "metrics/table.h"
 #include "metrics/trace.h"
+#include "sweep/sweep.h"
 #include "util/flags.h"
 #include "workload/runner.h"
 #include "workload/static_workloads.h"
@@ -40,12 +47,10 @@ int Main(int argc, char** argv) {
   const SimDuration duration = flags.GetInt("duration-ms", 40 * 12288);
   const std::uint64_t seed = static_cast<std::uint64_t>(flags.GetInt("seed", 99));
   const double collisions = flags.GetDouble("collisions", 0.02);
+  auto jobs = static_cast<unsigned>(flags.GetInt("jobs", 0));
   const auto metrics_out = flags.GetOptional("metrics-out");
   const auto trace_out = flags.GetOptional("trace-out");
-  for (const std::string& unread : flags.UnreadFlags()) {
-    std::fprintf(stderr, "unknown flag --%s\n", unread.c_str());
-    return 2;
-  }
+  if (ReportUnreadFlags(flags)) return 2;
 
   MetricsRegistry registry;
   std::ofstream trace_file;
@@ -57,6 +62,12 @@ int Main(int argc, char** argv) {
       return 1;
     }
     trace_writer = std::make_unique<JsonlTraceWriter>(trace_file);
+    if (jobs != 1) {
+      std::fprintf(stderr,
+                   "note: --trace-out shares one writer across runs; "
+                   "forcing --jobs=1\n");
+      jobs = 1;
+    }
   }
 
   std::printf("Figure 3: average transmission time (%% of time transmitting "
@@ -65,35 +76,50 @@ int Main(int argc, char** argv) {
               static_cast<long long>(duration),
               static_cast<unsigned long long>(seed), collisions);
 
-  for (std::size_t side : {std::size_t{4}, std::size_t{8}}) {
-    TablePrinter table({"workload", "baseline", "bs-only", "innet-only",
-                        "ttmqo", "bs save%", "innet save%", "ttmqo save%"});
-    for (const char* workload : {"A", "B", "C"}) {
-      const auto schedule = StaticSchedule(WorkloadByName(workload));
-      double fractions[4] = {0, 0, 0, 0};
-      int i = 0;
-      for (OptimizationMode mode :
-           {OptimizationMode::kBaseline, OptimizationMode::kBaseStationOnly,
-            OptimizationMode::kInNetworkOnly, OptimizationMode::kTwoTier}) {
-        RunConfig config;
-        config.grid_side = side;
-        config.mode = mode;
-        config.field = FieldKind::kCorrelated;
-        config.duration_ms = duration;
-        config.seed = seed;
-        config.channel.collision_prob = collisions;
+  const std::size_t sides[] = {4, 8};
+  const char* workloads[] = {"A", "B", "C"};
+  const OptimizationMode modes[] = {
+      OptimizationMode::kBaseline, OptimizationMode::kBaseStationOnly,
+      OptimizationMode::kInNetworkOnly, OptimizationMode::kTwoTier};
+
+  std::vector<RunUnit> units;
+  for (const std::size_t side : sides) {
+    for (const char* workload : workloads) {
+      for (const OptimizationMode mode : modes) {
+        RunUnit unit;
+        unit.config.grid_side = side;
+        unit.config.mode = mode;
+        unit.config.field = FieldKind::kCorrelated;
+        unit.config.duration_ms = duration;
+        unit.config.seed = seed;
+        unit.config.channel.collision_prob = collisions;
         if (metrics_out.has_value()) {
-          config.obs.registry = &registry;
-          config.obs.labels = {
+          unit.config.obs.registry = &registry;  // thread-safe by contract
+          unit.config.obs.labels = {
               {"nodes", std::to_string(side * side)},
               {"workload", workload},
               {"mode", std::string(OptimizationModeName(mode))}};
         }
         if (trace_writer != nullptr) {
-          config.obs.trace = trace_writer.get();
+          unit.config.obs.trace = trace_writer.get();
         }
-        const RunResult run = RunExperiment(config, schedule);
-        fractions[i++] = run.summary.avg_transmission_fraction * 100.0;
+        unit.schedule = StaticSchedule(WorkloadByName(workload));
+        units.push_back(std::move(unit));
+      }
+    }
+  }
+
+  const std::vector<TimedRunResult> results = RunMany(units, jobs);
+
+  std::size_t next = 0;
+  for (const std::size_t side : sides) {
+    TablePrinter table({"workload", "baseline", "bs-only", "innet-only",
+                        "ttmqo", "bs save%", "innet save%", "ttmqo save%"});
+    for (const char* workload : workloads) {
+      double fractions[4] = {0, 0, 0, 0};
+      for (double& fraction : fractions) {
+        fraction =
+            results[next++].run.summary.avg_transmission_fraction * 100.0;
       }
       table.AddRow({std::string("WORKLOAD_") + workload,
                     TablePrinter::Num(fractions[0], 4),

@@ -16,12 +16,19 @@
 // counts are cost-model statistics), so the replay drives the optimizer
 // directly with time-weighted sampling between workload events.
 //
+// The replays of each part (and the full-simulation runs of part d) are
+// independent; they fan out over the sweep orchestrator's thread pool
+// (--jobs) and are collected by task index, so the tables are identical
+// for any job count.  Each parallel task builds its own CostModel — its
+// evaluation counters are mutable and not atomic.
+//
 // Usage: fig4_adaptive [--part=a|b|c|all] [--queries=N] [--seed=N]
-//                      [--trace-out=fig4.jsonl]
+//                      [--jobs=N] [--trace-out=fig4.jsonl]
 //
 // --trace-out captures the tier-1 decision trace (tier1.insert /
-// tier1.terminate / tier1.benefit_estimate) of the first replay executed —
-// with the default --part=all that is the alpha=0.6 run of part (a).
+// tier1.terminate / tier1.benefit_estimate) of the first replay of the
+// first part executed — with the default --part=all that is the
+// alpha=0.6, concurrency=8 run of part (a).
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -32,6 +39,7 @@
 #include "metrics/trace.h"
 #include "query/engine.h"
 #include "net/topology.h"
+#include "sweep/sweep.h"
 #include "util/flags.h"
 #include "workload/generator.h"
 #include "workload/runner.h"
@@ -128,17 +136,25 @@ std::vector<WorkloadEvent> MakeSchedule(std::size_t num_queries,
                          target_concurrency * mean_interarrival, seed ^ 0x5eedULL);
 }
 
+/// One replay with a private cost model (its evaluation counters are
+/// mutable and not atomic, so concurrent replays must not share one).
+ReplayStats ReplayTask(const std::vector<WorkloadEvent>& events,
+                       const Topology& topology, double alpha,
+                       TraceSink* trace = nullptr) {
+  const SelectivityEstimator estimator;
+  const CostModel cost(topology, RadioParams{}, estimator);
+  return Replay(events, cost, alpha, topology.size(), trace);
+}
+
 int Main(int argc, char** argv) {
   const Flags flags = Flags::Parse(argc, argv);
   const std::string part = flags.GetString("part", "all");
   const auto num_queries =
       static_cast<std::size_t>(flags.GetInt("queries", 500));
   const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 17));
+  const auto jobs = static_cast<unsigned>(flags.GetInt("jobs", 0));
   const auto trace_out = flags.GetOptional("trace-out");
-  for (const std::string& unread : flags.UnreadFlags()) {
-    std::fprintf(stderr, "unknown flag --%s\n", unread.c_str());
-    return 2;
-  }
+  if (ReportUnreadFlags(flags)) return 2;
 
   std::ofstream trace_file;
   std::unique_ptr<JsonlTraceWriter> trace_writer;
@@ -150,8 +166,10 @@ int Main(int argc, char** argv) {
     }
     trace_writer = std::make_unique<JsonlTraceWriter>(trace_file);
   }
-  // Hands the trace sink to the first replay only; a full sweep would
-  // record hundreds of thousands of benefit estimates.
+  // Hands the trace sink to the first replay of the first traced part
+  // only (always task index 0, so the choice does not depend on thread
+  // scheduling); a full sweep would record hundreds of thousands of
+  // benefit estimates.
   TraceSink* pending_trace = trace_writer.get();
   const auto take_trace = [&pending_trace]() {
     TraceSink* t = pending_trace;
@@ -160,8 +178,6 @@ int Main(int argc, char** argv) {
   };
 
   const Topology topology = Topology::Grid(8);
-  const SelectivityEstimator estimator;
-  const CostModel cost(topology, RadioParams{}, estimator);
 
   const std::vector<double> concurrency = {8, 16, 24, 32, 40, 48};
   const std::vector<double> alphas = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0, 1.2};
@@ -173,12 +189,16 @@ int Main(int argc, char** argv) {
   if (part == "a" || part == "all") {
     std::printf("(a) benefit ratio vs concurrent queries (alpha = 0.6)\n");
     TablePrinter table({"target concurrency", "measured avg", "benefit ratio %"});
-    for (double c : concurrency) {
-      const auto stats = Replay(MakeSchedule(num_queries, c, seed), cost, 0.6,
-                                topology.size(), take_trace());
-      table.AddRow({TablePrinter::Num(c, 0),
-                    TablePrinter::Num(stats.avg_concurrent, 1),
-                    TablePrinter::Num(stats.avg_benefit_ratio * 100.0, 1)});
+    std::vector<ReplayStats> stats(concurrency.size());
+    TraceSink* const trace = take_trace();
+    ParallelFor(concurrency.size(), jobs, [&](std::size_t i) {
+      stats[i] = ReplayTask(MakeSchedule(num_queries, concurrency[i], seed),
+                            topology, 0.6, i == 0 ? trace : nullptr);
+    });
+    for (std::size_t i = 0; i < concurrency.size(); ++i) {
+      table.AddRow({TablePrinter::Num(concurrency[i], 0),
+                    TablePrinter::Num(stats[i].avg_concurrent, 1),
+                    TablePrinter::Num(stats[i].avg_benefit_ratio * 100.0, 1)});
     }
     table.Print(std::cout);
     std::printf("\n");
@@ -187,12 +207,16 @@ int Main(int argc, char** argv) {
   if (part == "b" || part == "all") {
     std::printf("(b) benefit ratio vs alpha (8 concurrent queries)\n");
     TablePrinter table({"alpha", "benefit ratio %", "abort/inject ops"});
-    for (double alpha : alphas) {
-      const auto stats = Replay(MakeSchedule(num_queries, 8, seed), cost,
-                                alpha, topology.size(), take_trace());
-      table.AddRow({TablePrinter::Num(alpha, 1),
-                    TablePrinter::Num(stats.avg_benefit_ratio * 100.0, 2),
-                    std::to_string(stats.churn_operations)});
+    std::vector<ReplayStats> stats(alphas.size());
+    TraceSink* const trace = take_trace();
+    ParallelFor(alphas.size(), jobs, [&](std::size_t i) {
+      stats[i] = ReplayTask(MakeSchedule(num_queries, 8, seed), topology,
+                            alphas[i], i == 0 ? trace : nullptr);
+    });
+    for (std::size_t i = 0; i < alphas.size(); ++i) {
+      table.AddRow({TablePrinter::Num(alphas[i], 1),
+                    TablePrinter::Num(stats[i].avg_benefit_ratio * 100.0, 2),
+                    std::to_string(stats[i].churn_operations)});
     }
     table.Print(std::cout);
     std::printf("\n");
@@ -208,14 +232,20 @@ int Main(int argc, char** argv) {
                 "(alpha = 0.6)\n");
     TablePrinter table({"target concurrency", "random %",
                         "skewed (20 templates) %", "skewed (8 templates) %"});
-    for (double c : {8.0, 24.0, 48.0}) {
-      std::vector<std::string> row = {TablePrinter::Num(c, 0)};
-      for (std::size_t pool : {std::size_t{0}, std::size_t{20},
-                               std::size_t{8}}) {
-        const auto stats =
-            Replay(MakeSchedule(num_queries, c, seed, pool), cost, 0.6,
-                   topology.size());
-        row.push_back(TablePrinter::Num(stats.avg_benefit_ratio * 100, 1));
+    const std::vector<double> targets = {8.0, 24.0, 48.0};
+    const std::vector<std::size_t> pools = {0, 20, 8};
+    std::vector<ReplayStats> stats(targets.size() * pools.size());
+    ParallelFor(stats.size(), jobs, [&](std::size_t i) {
+      const double c = targets[i / pools.size()];
+      const std::size_t pool = pools[i % pools.size()];
+      stats[i] = ReplayTask(MakeSchedule(num_queries, c, seed, pool),
+                            topology, 0.6);
+    });
+    for (std::size_t r = 0; r < targets.size(); ++r) {
+      std::vector<std::string> row = {TablePrinter::Num(targets[r], 0)};
+      for (std::size_t p = 0; p < pools.size(); ++p) {
+        row.push_back(TablePrinter::Num(
+            stats[r * pools.size() + p].avg_benefit_ratio * 100, 1));
       }
       table.AddRow(std::move(row));
     }
@@ -234,29 +264,36 @@ int Main(int argc, char** argv) {
                 60);
     TablePrinter table({"target concurrency", "baseline avg tx %",
                         "ttmqo avg tx %", "measured savings %"});
-    for (double c : {4.0, 8.0, 16.0}) {
+    const std::vector<double> targets = {4.0, 8.0, 16.0};
+    std::vector<RunUnit> units;
+    for (const double c : targets) {
       auto schedule = MakeSchedule(60, c, seed);
       SimTime end = 0;
       for (const WorkloadEvent& event : schedule) {
         end = std::max(end, event.time);
       }
-      double tx[2];
-      int i = 0;
       for (OptimizationMode mode :
            {OptimizationMode::kBaseline, OptimizationMode::kTwoTier}) {
-        RunConfig config;
-        config.grid_side = 4;
-        config.mode = mode;
-        config.duration_ms = end + 4 * 24576;
-        config.seed = seed;
-        config.channel.collision_prob = 0.02;
-        tx[i++] = RunExperiment(config, schedule)
-                      .summary.avg_transmission_fraction *
-                  100.0;
+        RunUnit unit;
+        unit.config.grid_side = 4;
+        unit.config.mode = mode;
+        unit.config.duration_ms = end + 4 * 24576;
+        unit.config.seed = seed;
+        unit.config.channel.collision_prob = 0.02;
+        unit.schedule = schedule;
+        units.push_back(std::move(unit));
       }
-      table.AddRow({TablePrinter::Num(c, 0), TablePrinter::Num(tx[0], 4),
-                    TablePrinter::Num(tx[1], 4),
-                    TablePrinter::Num(SavingsPercent(tx[0], tx[1]), 1)});
+    }
+    const std::vector<TimedRunResult> results = RunMany(units, jobs);
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      const double baseline =
+          results[2 * i].run.summary.avg_transmission_fraction * 100.0;
+      const double ttmqo =
+          results[2 * i + 1].run.summary.avg_transmission_fraction * 100.0;
+      table.AddRow({TablePrinter::Num(targets[i], 0),
+                    TablePrinter::Num(baseline, 4),
+                    TablePrinter::Num(ttmqo, 4),
+                    TablePrinter::Num(SavingsPercent(baseline, ttmqo), 1)});
     }
     table.Print(std::cout);
     std::printf("\n");
@@ -266,12 +303,19 @@ int Main(int argc, char** argv) {
     std::printf("(c) average number of synthetic queries\n");
     TablePrinter table({"target concurrency", "alpha=0.2", "alpha=0.6",
                         "alpha=1.0"});
-    for (double c : concurrency) {
-      std::vector<std::string> row = {TablePrinter::Num(c, 0)};
-      for (double alpha : {0.2, 0.6, 1.0}) {
-        const auto stats =
-            Replay(MakeSchedule(num_queries, c, seed), cost, alpha, topology.size());
-        row.push_back(TablePrinter::Num(stats.avg_synthetic, 2));
+    const std::vector<double> part_c_alphas = {0.2, 0.6, 1.0};
+    std::vector<ReplayStats> stats(concurrency.size() * part_c_alphas.size());
+    ParallelFor(stats.size(), jobs, [&](std::size_t i) {
+      const double c = concurrency[i / part_c_alphas.size()];
+      const double alpha = part_c_alphas[i % part_c_alphas.size()];
+      stats[i] = ReplayTask(MakeSchedule(num_queries, c, seed), topology,
+                            alpha);
+    });
+    for (std::size_t r = 0; r < concurrency.size(); ++r) {
+      std::vector<std::string> row = {TablePrinter::Num(concurrency[r], 0)};
+      for (std::size_t a = 0; a < part_c_alphas.size(); ++a) {
+        row.push_back(TablePrinter::Num(
+            stats[r * part_c_alphas.size() + a].avg_synthetic, 2));
       }
       table.AddRow(std::move(row));
     }

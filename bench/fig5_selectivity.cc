@@ -65,10 +65,7 @@ int Main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 5));
   const auto side = static_cast<std::size_t>(flags.GetInt("side", 4));
   const double collisions = flags.GetDouble("collisions", 0.03);
-  for (const std::string& unread : flags.UnreadFlags()) {
-    std::fprintf(stderr, "unknown flag --%s\n", unread.c_str());
-    return 2;
-  }
+  if (ReportUnreadFlags(flags)) return 2;
 
   std::printf("Figure 5: transmission-time savings vs predicate selectivity "
               "(8 queries, %zux%zu grid, collisions=%.3f)\n\n",

@@ -3,11 +3,18 @@
 // the axis to 144 nodes and adds a query-count axis (8..32 concurrent
 // static queries drawn from the random model).
 //
+// All (grid, mode) and (query count, mode) cells are independent
+// simulations; they are fanned out over the sweep orchestrator's thread
+// pool and collected by task index, so the printed tables are identical
+// for any --jobs value.
+//
 // Usage: scalability [--duration-ms=N] [--seed=N] [--collisions=P]
+//                    [--jobs=N]  (0 = hardware concurrency)
 #include <cstdio>
 #include <iostream>
 
 #include "metrics/table.h"
+#include "sweep/sweep.h"
 #include "util/flags.h"
 #include "workload/runner.h"
 #include "workload/static_workloads.h"
@@ -15,84 +22,92 @@
 namespace ttmqo {
 namespace {
 
+constexpr OptimizationMode kModes[] = {OptimizationMode::kBaseline,
+                                       OptimizationMode::kTwoTier};
+
 int Main(int argc, char** argv) {
   const Flags flags = Flags::Parse(argc, argv);
   const SimDuration duration = flags.GetInt("duration-ms", 20 * 12288);
   const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 77));
   const double collisions = flags.GetDouble("collisions", 0.02);
-  for (const std::string& unread : flags.UnreadFlags()) {
-    std::fprintf(stderr, "unknown flag --%s\n", unread.c_str());
-    return 2;
-  }
+  const auto jobs = static_cast<unsigned>(flags.GetInt("jobs", 0));
+  if (ReportUnreadFlags(flags)) return 2;
 
   std::printf("Scalability of TTMQO savings (WORKLOAD_C, collisions=%.3f, "
               "%lld ms)\n\n",
               collisions, static_cast<long long>(duration));
 
-  // Axis 1: network size.
+  const auto base_config = [&](std::size_t side, OptimizationMode mode) {
+    RunConfig config;
+    config.grid_side = side;
+    config.mode = mode;
+    config.duration_ms = duration;
+    config.seed = seed;
+    config.channel.collision_prob = collisions;
+    return config;
+  };
+
+  // Axis 1: network size.  Axis 2: number of concurrent static queries on
+  // an 8x8 grid.  Both axes go into one task list so the pool stays busy.
+  const std::size_t sides[] = {4, 6, 8, 10, 12};
+  const std::size_t counts[] = {4, 8, 16, 32};
+  std::vector<RunUnit> units;
+  for (const std::size_t side : sides) {
+    for (const OptimizationMode mode : kModes) {
+      RunUnit unit;
+      unit.config = base_config(side, mode);
+      unit.schedule = StaticSchedule(WorkloadC());
+      units.push_back(std::move(unit));
+    }
+  }
+  for (const std::size_t count : counts) {
+    QueryModelParams params;
+    params.predicate_selectivity = 1.0;
+    params.randomize_selectivity = true;
+    RandomQueryModel model(params, seed);
+    std::vector<Query> queries;
+    for (QueryId i = 1; i <= count; ++i) queries.push_back(model.Next(i));
+    for (const OptimizationMode mode : kModes) {
+      RunUnit unit;
+      unit.config = base_config(8, mode);
+      unit.schedule = StaticSchedule(queries);
+      units.push_back(std::move(unit));
+    }
+  }
+
+  const std::vector<TimedRunResult> results = RunMany(units, jobs);
+
+  std::size_t next = 0;
   {
     TablePrinter table({"nodes", "baseline avg tx %", "ttmqo avg tx %",
                         "savings %"});
-    for (std::size_t side : {std::size_t{4}, std::size_t{6}, std::size_t{8},
-                             std::size_t{10}, std::size_t{12}}) {
-      const auto schedule = StaticSchedule(WorkloadC());
-      double tx[2];
-      int i = 0;
-      for (OptimizationMode mode :
-           {OptimizationMode::kBaseline, OptimizationMode::kTwoTier}) {
-        RunConfig config;
-        config.grid_side = side;
-        config.mode = mode;
-        config.duration_ms = duration;
-        config.seed = seed;
-        config.channel.collision_prob = collisions;
-        tx[i++] = RunExperiment(config, schedule)
-                      .summary.avg_transmission_fraction *
-                  100.0;
-      }
-      table.AddRow({std::to_string(side * side), TablePrinter::Num(tx[0], 4),
-                    TablePrinter::Num(tx[1], 4),
-                    TablePrinter::Num(SavingsPercent(tx[0], tx[1]), 1)});
+    for (const std::size_t side : sides) {
+      const double baseline =
+          results[next++].run.summary.avg_transmission_fraction * 100.0;
+      const double ttmqo =
+          results[next++].run.summary.avg_transmission_fraction * 100.0;
+      table.AddRow({std::to_string(side * side),
+                    TablePrinter::Num(baseline, 4),
+                    TablePrinter::Num(ttmqo, 4),
+                    TablePrinter::Num(SavingsPercent(baseline, ttmqo), 1)});
     }
     std::printf("--- savings vs network size ---\n");
     table.Print(std::cout);
     std::printf("\n");
   }
-
-  // Axis 2: number of concurrent static queries (8x8 grid).
   {
     TablePrinter table({"queries", "baseline avg tx %", "ttmqo avg tx %",
                         "savings %", "synthetic queries"});
-    for (std::size_t count : {std::size_t{4}, std::size_t{8}, std::size_t{16},
-                              std::size_t{32}}) {
-      QueryModelParams params;
-      params.predicate_selectivity = 1.0;
-      params.randomize_selectivity = true;
-      RandomQueryModel model(params, seed);
-      std::vector<Query> queries;
-      for (QueryId i = 1; i <= count; ++i) queries.push_back(model.Next(i));
-      const auto schedule = StaticSchedule(queries);
-      double tx[2];
-      double synthetics = 0;
-      int i = 0;
-      for (OptimizationMode mode :
-           {OptimizationMode::kBaseline, OptimizationMode::kTwoTier}) {
-        RunConfig config;
-        config.grid_side = 8;
-        config.mode = mode;
-        config.duration_ms = duration;
-        config.seed = seed;
-        config.channel.collision_prob = collisions;
-        const RunResult run = RunExperiment(config, schedule);
-        tx[i++] = run.summary.avg_transmission_fraction * 100.0;
-        if (mode == OptimizationMode::kTwoTier) {
-          synthetics = run.avg_network_queries;
-        }
-      }
-      table.AddRow({std::to_string(count), TablePrinter::Num(tx[0], 4),
-                    TablePrinter::Num(tx[1], 4),
-                    TablePrinter::Num(SavingsPercent(tx[0], tx[1]), 1),
-                    TablePrinter::Num(synthetics, 2)});
+    for (const std::size_t count : counts) {
+      const double baseline =
+          results[next++].run.summary.avg_transmission_fraction * 100.0;
+      const RunResult& ttmqo_run = results[next++].run;
+      const double ttmqo =
+          ttmqo_run.summary.avg_transmission_fraction * 100.0;
+      table.AddRow({std::to_string(count), TablePrinter::Num(baseline, 4),
+                    TablePrinter::Num(ttmqo, 4),
+                    TablePrinter::Num(SavingsPercent(baseline, ttmqo), 1),
+                    TablePrinter::Num(ttmqo_run.avg_network_queries, 2)});
     }
     std::printf("--- savings vs concurrent queries (8x8 grid) ---\n");
     table.Print(std::cout);

@@ -1,10 +1,40 @@
 #!/usr/bin/env bash
 # Local CI: build and test the plain configuration, then again with
 # AddressSanitizer + UBSan.  Usage: ./ci.sh [extra ctest args...]
+#
+# Tests run tier by tier — unit first, then integration, then soak — each
+# under its own timeout, so a broken unit test fails the build before the
+# expensive whole-run tiers spend any time.  A per-test wall-clock report
+# (5 slowest) prints after each configuration to keep the suite honest
+# about where the time goes.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
+
+run_tier() {
+  local dir="$1" label="$2" timeout="$3"
+  echo "=== test: ${dir} [${label}, timeout ${timeout}s] ==="
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" \
+    -L "${label}" --timeout "${timeout}" "${CTEST_ARGS[@]}"
+  # Each ctest invocation overwrites LastTest.log; accumulate the tiers
+  # so the slowest-test report covers the whole configuration.
+  cat "${dir}"/Testing/Temporary/LastTest.log >> \
+    "${dir}"/Testing/Temporary/AllTiers.log 2>/dev/null || true
+}
+
+# The 5 slowest tests across all tiers of `dir`, from ctest's own timing
+# lines ("Testing: <name>" ... "Test time = <sec> sec").
+report_slowest() {
+  local dir="$1"
+  local log="${dir}/Testing/Temporary/AllTiers.log"
+  [ -f "${log}" ] || return 0
+  echo "--- 5 slowest tests (${dir}) ---"
+  awk '/^[0-9]+\/[0-9]+ Testing: /{name=substr($0, index($0, "Testing: ")+9)}
+       /Test time =/{printf "%10.3f sec  %s\n", $(NF-1), name}' "${log}" |
+    sort -rn | head -5
+  rm -f "${log}"
+}
 
 run_config() {
   local dir="$1"
@@ -13,8 +43,10 @@ run_config() {
   cmake -B "${dir}" -S . "$@"
   echo "=== build: ${dir} ==="
   cmake --build "${dir}" -j "${JOBS}"
-  echo "=== test: ${dir} ==="
-  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" "${CTEST_ARGS[@]}"
+  run_tier "${dir}" unit 60
+  run_tier "${dir}" integration 300
+  run_tier "${dir}" soak 600
+  report_slowest "${dir}"
 }
 
 CTEST_ARGS=("$@")
@@ -33,5 +65,13 @@ run_config build-asan -DENABLE_SANITIZERS=ON
 echo "=== chaos soak (sanitized) ==="
 ./build-asan/bench/chaos_soak --runs=3 --seed=1
 ./build-asan/bench/chaos_soak --runs=3 --seed=1 --link-loss=0.1 --floor=0.4
+
+# The sweep orchestrator's cross-thread determinism check: the same spec
+# at jobs=1 and jobs=hardware must produce byte-identical canonical
+# reports (run_sweep exits non-zero otherwise).
+echo "=== sweep determinism (sanitized) ==="
+./build-asan/examples/run_sweep \
+  --spec="grids=4 workloads=A,C modes=baseline,ttmqo seeds=1 duration-ms=49152" \
+  --bench-out=/tmp/ttmqo_sweep_ci.json
 
 echo "=== all configurations passed ==="

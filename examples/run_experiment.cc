@@ -152,10 +152,7 @@ int main(int argc, char** argv) {
     const auto trace_out = flags.GetOptional("trace-out");
     const auto epoch_csv = flags.GetOptional("epoch-csv");
 
-    for (const std::string& unread : flags.UnreadFlags()) {
-      std::fprintf(stderr, "unknown flag --%s\n", unread.c_str());
-      return 2;
-    }
+    if (ReportUnreadFlags(flags)) return 2;
 
     const std::vector<OptimizationMode> modes =
         compare ? std::vector<OptimizationMode>{

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -168,6 +169,13 @@ class Parser {
       attributes_.push_back(Attribute::kNodeId);
       return;
     }
+    // `SELECT FROM ...` would otherwise surface as "unknown attribute
+    // 'FROM'", which misdiagnoses the mistake.
+    if (lexer_.Peek().kind == TokenKind::kEnd || PeekKeyword("FROM") ||
+        PeekKeyword("WHERE") || PeekKeyword("EPOCH")) {
+      throw ParseError("SELECT list must not be empty at offset " +
+                       std::to_string(lexer_.Peek().offset));
+    }
     while (true) {
       ParseSelectItem();
       if (!PeekSymbol(",")) break;
@@ -186,11 +194,25 @@ class Parser {
       lexer_.Next();  // '('
       const Token attr_tok = ExpectIdent("attribute");
       ExpectSymbol(")");
-      aggregates_.push_back(
-          AggregateSpec{*op, RequireAttribute(attr_tok)});
+      const AggregateSpec spec{*op, RequireAttribute(attr_tok)};
+      for (const AggregateSpec& existing : aggregates_) {
+        if (existing.op == spec.op && existing.attribute == spec.attribute) {
+          throw ParseError("duplicate aggregate '" + spec.ToString() +
+                           "' in SELECT list at offset " +
+                           std::to_string(ident.offset));
+        }
+      }
+      aggregates_.push_back(spec);
       return;
     }
-    attributes_.push_back(RequireAttribute(ident));
+    const Attribute attr = RequireAttribute(ident);
+    if (std::find(attributes_.begin(), attributes_.end(), attr) !=
+        attributes_.end()) {
+      throw ParseError("duplicate attribute '" + ident.text +
+                       "' in SELECT list at offset " +
+                       std::to_string(ident.offset));
+    }
+    attributes_.push_back(attr);
   }
 
   PredicateSet ParseConjunction() {
@@ -212,11 +234,14 @@ class Parser {
         const Token lo = Expect(TokenKind::kNumber, "lower bound");
         ExpectKeyword("AND");
         const Token hi = Expect(TokenKind::kNumber, "upper bound");
+        CheckPredicateConstant(attr, lo);
+        CheckPredicateConstant(attr, hi);
         predicates.Constrain(attr, Interval(lo.number, hi.number));
         return;
       }
       const Token op = Expect(TokenKind::kSymbol, "comparison operator");
       const Token rhs = Expect(TokenKind::kNumber, "constant");
+      CheckPredicateConstant(attr, rhs);
       predicates.Constrain(attr, RangeFor(op.text, rhs.number, attr,
                                           /*attr_on_left=*/true));
       return;
@@ -225,6 +250,7 @@ class Parser {
       const Token op = Expect(TokenKind::kSymbol, "comparison operator");
       const Token rhs = ExpectIdent("attribute");
       const Attribute attr = RequireAttribute(rhs);
+      CheckPredicateConstant(attr, lhs);
       predicates.Constrain(attr, RangeFor(op.text, lhs.number, attr,
                                           /*attr_on_left=*/false));
       return;
@@ -248,6 +274,27 @@ class Parser {
     const bool upper_bound = attr_on_left ? less : greater;
     return upper_bound ? Interval(full.lo(), value)
                        : Interval(value, full.hi());
+  }
+
+  // `nodeid` addresses a physical mote, so a comparison constant that is
+  // fractional or outside the address space is a typo, not an empty
+  // predicate.  Continuous attributes keep their permissive semantics
+  // (an out-of-range bound just clamps the interval).
+  void CheckPredicateConstant(Attribute attr, const Token& tok) {
+    if (attr != Attribute::kNodeId) return;
+    if (static_cast<double>(static_cast<std::int64_t>(tok.number)) !=
+        tok.number) {
+      throw ParseError("nodeid comparisons expect an integer, got '" +
+                       tok.text + "' at offset " + std::to_string(tok.offset));
+    }
+    const Interval range = AttributeRange(Attribute::kNodeId);
+    if (tok.number < range.lo() || tok.number > range.hi()) {
+      throw ParseError("nodeid constant " + tok.text + " is outside [" +
+                       std::to_string(static_cast<std::int64_t>(range.lo())) +
+                       ", " +
+                       std::to_string(static_cast<std::int64_t>(range.hi())) +
+                       "] at offset " + std::to_string(tok.offset));
+    }
   }
 
   Attribute RequireAttribute(const Token& tok) {

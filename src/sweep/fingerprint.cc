@@ -1,0 +1,76 @@
+#include "sweep/fingerprint.h"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace ttmqo {
+namespace {
+
+std::string Fixed(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+struct QueryTally {
+  std::uint64_t epochs = 0;
+  std::uint64_t rows = 0;
+  std::uint64_t aggregates = 0;
+};
+
+void AppendResultLines(std::ostringstream& out, const ResultLog& results) {
+  std::map<QueryId, QueryTally> per_query;
+  for (const EpochResult* r : results.All()) {
+    QueryTally& tally = per_query[r->query];
+    ++tally.epochs;
+    tally.rows += static_cast<std::uint64_t>(r->rows.size());
+    for (const auto& [spec, value] : r->aggregates) {
+      if (value.has_value()) ++tally.aggregates;
+    }
+  }
+  out << "results " << results.size() << "\n";
+  for (const auto& [id, tally] : per_query) {
+    out << "query " << id << " epochs=" << tally.epochs << " rows="
+        << tally.rows << " aggregates=" << tally.aggregates << "\n";
+  }
+}
+
+void AppendSummaryLines(std::ostringstream& out, const RunSummary& summary) {
+  out << "messages result=" << summary.result_messages << " propagation="
+      << summary.propagation_messages << " abort=" << summary.abort_messages
+      << " maintenance=" << summary.maintenance_messages
+      << " retransmissions=" << summary.retransmissions << " total="
+      << summary.total_messages << "\n";
+  out << "transmit_ms=" << Fixed(summary.total_transmit_ms)
+      << " avg_tx_fraction=" << Fixed(summary.avg_transmission_fraction)
+      << " avg_sleep_fraction=" << Fixed(summary.avg_sleep_fraction) << "\n";
+  for (const auto& [id, delivery] : summary.delivery) {
+    out << "delivery " << id << " expected=" << delivery.expected
+        << " delivered=" << delivery.delivered << "\n";
+  }
+}
+
+}  // namespace
+
+std::string FingerprintRun(const ResultLog& results,
+                           const RunSummary& summary) {
+  std::ostringstream out;
+  AppendResultLines(out, results);
+  AppendSummaryLines(out, summary);
+  return out.str();
+}
+
+std::string FingerprintRun(const RunResult& run) {
+  std::ostringstream out;
+  AppendResultLines(out, run.results);
+  AppendSummaryLines(out, run.summary);
+  out << "events_executed=" << run.events_executed << " peak_user_queries="
+      << run.peak_user_queries << "\n";
+  out << "avg_network_queries=" << Fixed(run.avg_network_queries)
+      << " avg_benefit_ratio=" << Fixed(run.avg_benefit_ratio)
+      << " final_benefit_ratio=" << Fixed(run.final_benefit_ratio) << "\n";
+  return out.str();
+}
+
+}  // namespace ttmqo

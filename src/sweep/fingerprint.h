@@ -1,0 +1,30 @@
+// Canonical run fingerprints for golden-run regression testing.
+//
+// A fingerprint is a short, human-diffable text digest of everything a
+// run's behavior determines: per-query answer-row counts, the
+// message-class table, ledger transmission totals, and (when present)
+// the delivery-completeness oracle.  It deliberately contains no wall
+// clock, host name, path, or anything else that varies between equal
+// runs, so a stored fingerprint stays stable until the simulated
+// behavior itself changes — at which point the golden regression suite
+// fails loudly and the diff shows exactly which quantity drifted.
+#pragma once
+
+#include <string>
+
+#include "metrics/run_summary.h"
+#include "query/result.h"
+#include "workload/runner.h"
+
+namespace ttmqo {
+
+/// Fingerprints an engine-level run observed through its answer log and
+/// ledger summary.
+std::string FingerprintRun(const ResultLog& results,
+                           const RunSummary& summary);
+
+/// Fingerprints a harness-level run (adds simulator event counts and the
+/// tier-1 statistics the harness samples).
+std::string FingerprintRun(const RunResult& run);
+
+}  // namespace ttmqo

@@ -1,0 +1,439 @@
+#include "sweep/spec.h"
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "fault/fault_plan.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "workload/static_workloads.h"
+
+namespace ttmqo {
+namespace {
+
+std::vector<std::string> SplitOn(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (const char c : text) {
+    if (c == sep) {
+      if (!current.empty()) parts.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) parts.push_back(std::move(current));
+  return parts;
+}
+
+OptimizationMode ParseModeName(const std::string& name) {
+  if (name == "baseline") return OptimizationMode::kBaseline;
+  if (name == "bs" || name == "bs-only") {
+    return OptimizationMode::kBaseStationOnly;
+  }
+  if (name == "innet" || name == "innet-only") {
+    return OptimizationMode::kInNetworkOnly;
+  }
+  if (name == "ttmqo") return OptimizationMode::kTwoTier;
+  throw std::invalid_argument("sweep spec: unknown mode '" + name +
+                              "' (baseline|bs|innet|ttmqo)");
+}
+
+std::string_view ShortModeName(OptimizationMode mode) {
+  switch (mode) {
+    case OptimizationMode::kBaseline:
+      return "baseline";
+    case OptimizationMode::kBaseStationOnly:
+      return "bs";
+    case OptimizationMode::kInNetworkOnly:
+      return "innet";
+    case OptimizationMode::kTwoTier:
+      return "ttmqo";
+  }
+  Check(false, "unknown optimization mode");
+  return "";
+}
+
+std::int64_t ParseIntValue(const std::string& key, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const std::int64_t parsed = std::stoll(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("sweep spec: " + key +
+                                " expects an integer, got '" + value + "'");
+  }
+}
+
+double ParseDoubleValue(const std::string& key, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const double parsed = std::stod(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("sweep spec: " + key +
+                                " expects a number, got '" + value + "'");
+  }
+}
+
+/// The workload of one (name, replicate) cell.  Static workloads ignore
+/// the seed; "random:<k>" draws k queries from the Section 4.3 model.
+std::vector<WorkloadEvent> MakeWorkload(const std::string& name,
+                                        std::uint64_t workload_seed) {
+  if (name == "A" || name == "B" || name == "C") {
+    return StaticSchedule(WorkloadByName(name));
+  }
+  if (name.rfind("random:", 0) == 0) {
+    const std::int64_t count = ParseIntValue("workloads", name.substr(7));
+    CheckArg(count > 0, "sweep spec: random workload needs a positive count");
+    QueryModelParams params;
+    params.predicate_selectivity = 1.0;
+    params.randomize_selectivity = true;
+    RandomQueryModel model(params, workload_seed);
+    std::vector<Query> queries;
+    for (QueryId i = 1; i <= static_cast<QueryId>(count); ++i) {
+      queries.push_back(model.Next(i));
+    }
+    return StaticSchedule(queries);
+  }
+  throw std::invalid_argument("sweep spec: unknown workload '" + name +
+                              "' (A|B|C|random:<k>)");
+}
+
+/// The fault plan of one (scenario, grid, replicate) cell.
+FaultPlan MakeFaultPlan(const std::string& scenario, std::size_t nodes,
+                        SimDuration duration_ms, std::uint64_t fault_seed) {
+  if (scenario == "none") return FaultPlan();
+  if (scenario == "transient") {
+    return FaultPlan::RandomTransient(RandomFaultParams{}, nodes, duration_ms,
+                                      fault_seed);
+  }
+  if (scenario.rfind("loss:", 0) == 0) {
+    FaultPlan plan;
+    plan.SetDefaultLinkLoss(ParseDoubleValue("faults", scenario.substr(5)));
+    return plan;
+  }
+  throw std::invalid_argument("sweep spec: unknown fault scenario '" +
+                              scenario + "' (none|transient|loss:<p>)");
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Shortest-round-trip-ish double rendering, stable for equal doubles.
+std::string Num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+/// Total answer rows a run delivered: acquisition rows plus finalized
+/// aggregate values.
+std::uint64_t DeliveredRows(const RunResult& run) {
+  std::uint64_t rows = 0;
+  for (const EpochResult* r : run.results.All()) {
+    rows += static_cast<std::uint64_t>(r->rows.size());
+    for (const auto& [spec, value] : r->aggregates) {
+      if (value.has_value()) ++rows;
+    }
+  }
+  return rows;
+}
+
+void WriteRowJson(std::ostream& out, const SweepRow& row,
+                  bool include_timing) {
+  const RunSummary& s = row.run.summary;
+  out << "{\"index\":" << row.index << ",\"grid\":" << row.grid_side
+      << ",\"workload\":\"" << JsonEscape(row.workload) << "\",\"mode\":\""
+      << JsonEscape(row.mode) << "\",\"fault\":\"" << JsonEscape(row.fault)
+      << "\",\"replicate\":" << row.replicate << ",\"seed\":" << row.seed
+      << ",\"avg_tx_fraction\":" << Num(s.avg_transmission_fraction)
+      << ",\"avg_sleep_fraction\":" << Num(s.avg_sleep_fraction)
+      << ",\"total_transmit_ms\":" << Num(s.total_transmit_ms)
+      << ",\"messages\":" << s.total_messages
+      << ",\"retransmissions\":" << s.retransmissions
+      << ",\"results\":" << row.run.results.size()
+      << ",\"rows\":" << DeliveredRows(row.run)
+      << ",\"avg_network_queries\":" << Num(row.run.avg_network_queries)
+      << ",\"avg_benefit_ratio\":" << Num(row.run.avg_benefit_ratio)
+      << ",\"peak_user_queries\":" << row.run.peak_user_queries
+      << ",\"delivery_avg\":" << Num(s.AvgDeliveryCompleteness())
+      << ",\"delivery_min\":" << Num(s.MinDeliveryCompleteness())
+      << ",\"events_executed\":" << row.run.events_executed;
+  if (include_timing) out << ",\"wall_ms\":" << Num(row.wall_ms);
+  out << "}";
+}
+
+}  // namespace
+
+SweepSpec SweepSpec::Parse(const std::string& text) {
+  SweepSpec spec;
+  std::string normalized = text;
+  for (char& c : normalized) {
+    if (c == ';' || c == '\n' || c == '\t') c = ' ';
+  }
+  for (const std::string& entry : SplitOn(normalized, ' ')) {
+    const auto eq = entry.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("sweep spec: expected key=value, got '" +
+                                  entry + "'");
+    }
+    const std::string key = entry.substr(0, eq);
+    const std::string value = entry.substr(eq + 1);
+    const std::vector<std::string> values = SplitOn(value, ',');
+    if (values.empty()) {
+      throw std::invalid_argument("sweep spec: " + key + " has no value");
+    }
+    if (key == "grids") {
+      spec.grid_sides.clear();
+      for (const std::string& v : values) {
+        const std::int64_t side = ParseIntValue(key, v);
+        CheckArg(side >= 2, "sweep spec: grid side must be >= 2");
+        spec.grid_sides.push_back(static_cast<std::size_t>(side));
+      }
+    } else if (key == "workloads") {
+      spec.workloads = values;
+    } else if (key == "modes") {
+      spec.modes.clear();
+      for (const std::string& v : values) {
+        spec.modes.push_back(ParseModeName(v));
+      }
+    } else if (key == "faults") {
+      spec.faults = values;
+    } else if (key == "seeds") {
+      const std::int64_t seeds = ParseIntValue(key, value);
+      CheckArg(seeds >= 1, "sweep spec: seeds must be >= 1");
+      spec.seeds = static_cast<std::size_t>(seeds);
+    } else if (key == "base-seed") {
+      spec.base_seed = static_cast<std::uint64_t>(ParseIntValue(key, value));
+    } else if (key == "duration-ms") {
+      const std::int64_t duration = ParseIntValue(key, value);
+      CheckArg(duration > 0, "sweep spec: duration-ms must be positive");
+      spec.duration_ms = duration;
+    } else if (key == "collisions") {
+      spec.collisions = ParseDoubleValue(key, value);
+    } else if (key == "alpha") {
+      spec.alpha = ParseDoubleValue(key, value);
+    } else {
+      throw std::invalid_argument(
+          "sweep spec: unknown key '" + key +
+          "' (grids|workloads|modes|faults|seeds|base-seed|duration-ms|"
+          "collisions|alpha)");
+    }
+  }
+  CheckArg(!spec.grid_sides.empty() && !spec.workloads.empty() &&
+               !spec.modes.empty() && !spec.faults.empty(),
+           "sweep spec: every axis needs at least one value");
+  return spec;
+}
+
+std::string SweepSpec::ToString() const {
+  std::ostringstream out;
+  const auto join = [&out](const char* key, const auto& values,
+                           const auto& render) {
+    out << key << "=";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) out << ",";
+      out << render(values[i]);
+    }
+    out << " ";
+  };
+  join("grids", grid_sides, [](std::size_t side) { return side; });
+  join("workloads", workloads, [](const std::string& w) { return w; });
+  join("modes", modes, [](OptimizationMode m) { return ShortModeName(m); });
+  join("faults", faults, [](const std::string& f) { return f; });
+  out << "seeds=" << seeds << " base-seed=" << base_seed << " duration-ms="
+      << duration_ms << " collisions=" << Num(collisions) << " alpha="
+      << Num(alpha);
+  return out.str();
+}
+
+std::size_t SweepSpec::TaskCount() const {
+  return grid_sides.size() * workloads.size() * modes.size() * faults.size() *
+         seeds;
+}
+
+std::vector<RunUnit> SweepSpec::Expand() const {
+  std::vector<RunUnit> units;
+  units.reserve(TaskCount());
+  const Rng root(base_seed);
+  for (const std::size_t side : grid_sides) {
+    for (const std::string& workload : workloads) {
+      for (const OptimizationMode mode : modes) {
+        for (const std::string& fault : faults) {
+          for (std::size_t replicate = 0; replicate < seeds; ++replicate) {
+            // All streams of a replicate derive from (base seed,
+            // coordinates); the run/workload/fault seeds are shared
+            // across the mode axis so schemes compare like-for-like on
+            // identical inputs.
+            const std::uint64_t run_seed =
+                root.Fork(0x10000 + replicate).seed();
+            const std::uint64_t workload_seed =
+                root.Fork(0x20000 + replicate).seed();
+            const std::uint64_t fault_seed =
+                root.Fork(0x30000 + replicate).seed() ^ (side << 8);
+
+            RunUnit unit;
+            unit.config.grid_side = side;
+            unit.config.mode = mode;
+            unit.config.alpha = alpha;
+            unit.config.duration_ms = duration_ms;
+            unit.config.seed = run_seed;
+            unit.config.channel.collision_prob = collisions;
+            unit.config.faults = MakeFaultPlan(fault, side * side,
+                                               duration_ms, fault_seed);
+            unit.schedule = MakeWorkload(workload, workload_seed);
+            std::ostringstream label;
+            label << "grid=" << side << " workload=" << workload << " mode="
+                  << ShortModeName(mode) << " fault=" << fault
+                  << " replicate=" << replicate;
+            unit.label = label.str();
+            units.push_back(std::move(unit));
+          }
+        }
+      }
+    }
+  }
+  return units;
+}
+
+void SweepReport::WriteJson(std::ostream& out, bool include_timing) const {
+  out << "{\"spec\":\"" << JsonEscape(spec_text) << "\",\"tasks\":"
+      << rows.size();
+  if (include_timing) {
+    out << ",\"jobs\":" << jobs << ",\"wall_ms\":" << Num(wall_ms);
+    if (wall_ms > 0) {
+      out << ",\"runs_per_sec\":"
+          << Num(static_cast<double>(rows.size()) * 1000.0 / wall_ms)
+          << ",\"events_per_sec\":"
+          << Num(static_cast<double>(TotalEvents()) * 1000.0 / wall_ms);
+    }
+  }
+  out << ",\"rows\":[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\n";
+    WriteRowJson(out, rows[i], include_timing);
+  }
+  out << "\n]}";
+}
+
+void SweepReport::WriteCsv(std::ostream& out, bool include_timing) const {
+  out << "index,grid,workload,mode,fault,replicate,seed,avg_tx_fraction,"
+         "avg_sleep_fraction,total_transmit_ms,messages,retransmissions,"
+         "results,rows,avg_network_queries,avg_benefit_ratio,"
+         "peak_user_queries,delivery_avg,delivery_min,events_executed";
+  if (include_timing) out << ",wall_ms";
+  out << "\n";
+  for (const SweepRow& row : rows) {
+    const RunSummary& s = row.run.summary;
+    out << row.index << "," << row.grid_side << "," << row.workload << ","
+        << row.mode << "," << row.fault << "," << row.replicate << ","
+        << row.seed << "," << Num(s.avg_transmission_fraction) << ","
+        << Num(s.avg_sleep_fraction) << "," << Num(s.total_transmit_ms)
+        << "," << s.total_messages << "," << s.retransmissions << ","
+        << row.run.results.size() << "," << DeliveredRows(row.run) << ","
+        << Num(row.run.avg_network_queries) << ","
+        << Num(row.run.avg_benefit_ratio) << "," << row.run.peak_user_queries
+        << "," << Num(s.AvgDeliveryCompleteness()) << ","
+        << Num(s.MinDeliveryCompleteness()) << "," << row.run.events_executed;
+    if (include_timing) out << "," << Num(row.wall_ms);
+    out << "\n";
+  }
+}
+
+std::string SweepReport::Canonical() const {
+  std::ostringstream out;
+  WriteJson(out, /*include_timing=*/false);
+  return out.str();
+}
+
+std::uint64_t SweepReport::TotalEvents() const {
+  std::uint64_t events = 0;
+  for (const SweepRow& row : rows) events += row.run.events_executed;
+  return events;
+}
+
+SweepReport RunSweep(const SweepSpec& spec, unsigned jobs,
+                     MetricsRegistry* registry) {
+  std::vector<RunUnit> units = spec.Expand();
+  if (registry != nullptr) {
+    std::size_t index = 0;
+    for (const std::size_t side : spec.grid_sides) {
+      for (const std::string& workload : spec.workloads) {
+        for (const OptimizationMode mode : spec.modes) {
+          for (const std::string& fault : spec.faults) {
+            for (std::size_t replicate = 0; replicate < spec.seeds;
+                 ++replicate) {
+              RunUnit& unit = units[index++];
+              unit.config.obs.registry = registry;
+              unit.config.obs.labels = {
+                  {"grid", std::to_string(side)},
+                  {"workload", workload},
+                  {"mode", std::string(ShortModeName(mode))},
+                  {"fault", fault},
+                  {"replicate", std::to_string(replicate)}};
+            }
+          }
+        }
+      }
+    }
+  }
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<TimedRunResult> results = RunMany(units, jobs);
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+
+  SweepReport report;
+  report.spec_text = spec.ToString();
+  report.jobs = jobs == 0 ? HardwareJobs() : jobs;
+  report.wall_ms = wall_ms;
+  report.rows.reserve(units.size());
+  std::size_t index = 0;
+  for (const std::size_t side : spec.grid_sides) {
+    for (const std::string& workload : spec.workloads) {
+      for (const OptimizationMode mode : spec.modes) {
+        for (const std::string& fault : spec.faults) {
+          for (std::size_t replicate = 0; replicate < spec.seeds;
+               ++replicate) {
+            SweepRow row;
+            row.index = index;
+            row.grid_side = side;
+            row.workload = workload;
+            row.mode = std::string(OptimizationModeName(mode));
+            row.fault = fault;
+            row.replicate = replicate;
+            row.seed = units[index].config.seed;
+            row.run = std::move(results[index].run);
+            row.wall_ms = results[index].wall_ms;
+            report.rows.push_back(std::move(row));
+            ++index;
+          }
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace ttmqo

@@ -1,0 +1,66 @@
+#include "sweep/sweep.h"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "util/check.h"
+
+namespace ttmqo {
+
+unsigned HardwareJobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void ParallelFor(std::size_t count, unsigned jobs,
+                 const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (jobs == 0) jobs = HardwareJobs();
+  if (jobs == 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  const auto worker = [&]() {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> workers;
+  const std::size_t n =
+      std::min<std::size_t>(jobs, count);
+  workers.reserve(n);
+  for (std::size_t t = 0; t < n; ++t) workers.emplace_back(worker);
+  for (std::thread& t : workers) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::vector<TimedRunResult> RunMany(const std::vector<RunUnit>& units,
+                                    unsigned jobs) {
+  std::vector<TimedRunResult> results(units.size());
+  ParallelFor(units.size(), jobs, [&](std::size_t i) {
+    const auto start = std::chrono::steady_clock::now();
+    results[i].run = RunExperiment(units[i].config, units[i].schedule);
+    results[i].wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+  });
+  return results;
+}
+
+}  // namespace ttmqo

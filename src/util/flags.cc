@@ -1,5 +1,6 @@
 #include "util/flags.h"
 
+#include <cstdio>
 #include <stdexcept>
 
 namespace ttmqo {
@@ -110,6 +111,14 @@ std::vector<std::string> Flags::UnreadFlags() const {
     if (!entry.second) unread.push_back(name);
   }
   return unread;
+}
+
+bool ReportUnreadFlags(const Flags& flags) {
+  const std::vector<std::string> unread = flags.UnreadFlags();
+  for (const std::string& name : unread) {
+    std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
+  }
+  return !unread.empty();
 }
 
 }  // namespace ttmqo

@@ -58,4 +58,11 @@ class Flags {
   std::vector<std::string> positional_;
 };
 
+/// Prints "unknown flag --name" to stderr for every flag that was supplied
+/// but never read.  Returns true when any were present, so a `main` can
+/// end its flag-reading block with
+///   if (ReportUnreadFlags(flags)) return 2;
+/// instead of re-implementing the rejection loop.
+bool ReportUnreadFlags(const Flags& flags);
+
 }  // namespace ttmqo

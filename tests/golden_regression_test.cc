@@ -1,0 +1,134 @@
+// Golden-run regression suite: three pinned scenarios whose canonical
+// fingerprints (see sweep/fingerprint.h) are stored under tests/golden/.
+// Any change to simulated behavior — row counts, message totals,
+// transmission time, delivery completeness — fails here with a diffable
+// before/after, so refactors that were supposed to be behavior-preserving
+// prove it and intentional changes update the goldens consciously.
+//
+// To refresh after an intentional behavior change:
+//
+//   TTMQO_UPDATE_GOLDEN=1 ctest --test-dir build -R GoldenRegression
+//
+// then review `git diff tests/golden/` line by line before committing —
+// every changed line is a behavior change you are signing off on.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "core/innet/innet_engine.h"
+#include "fault/fault_plan.h"
+#include "metrics/run_summary.h"
+#include "query/parser.h"
+#include "sensing/field_model.h"
+#include "sweep/fingerprint.h"
+#include "workload/runner.h"
+#include "workload/static_workloads.h"
+
+#ifndef TTMQO_GOLDEN_DIR
+#error "TTMQO_GOLDEN_DIR must point at tests/golden (set in CMakeLists)"
+#endif
+
+namespace ttmqo {
+namespace {
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(TTMQO_GOLDEN_DIR) + "/" + name;
+}
+
+// Compares `fingerprint` against the stored golden, or rewrites the
+// golden when TTMQO_UPDATE_GOLDEN is set in the environment.
+void CheckGolden(const std::string& name, const std::string& fingerprint) {
+  const std::string path = GoldenPath(name);
+  if (std::getenv("TTMQO_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out) << "cannot write golden file " << path;
+    out << fingerprint;
+    std::printf("updated %s\n", path.c_str());
+    return;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "missing golden file " << path
+                  << "; generate it with TTMQO_UPDATE_GOLDEN=1";
+  std::ostringstream stored;
+  stored << in.rdbuf();
+  EXPECT_EQ(stored.str(), fingerprint)
+      << "behavior drifted from " << path
+      << "; if intentional, refresh with TTMQO_UPDATE_GOLDEN=1 and review "
+         "the diff";
+}
+
+// The Figure 2 field: a fixed far-corner cluster holds elevated light
+// readings (mirrors fig2_scenario_test.cc).
+class ClusterField final : public FieldModel {
+ public:
+  explicit ClusterField(std::set<NodeId> hot) : hot_(std::move(hot)) {}
+
+  double Sample(NodeId node, const Position&, Attribute attr,
+                SimTime time) const override {
+    if (attr == Attribute::kNodeId) return node;
+    const double base = hot_.contains(node) ? 900.0 : 100.0;
+    return base + static_cast<double>((node * 7 + time / 2048) % 50);
+  }
+
+ private:
+  std::set<NodeId> hot_;
+};
+
+// Scenario 1: the paper's Figure 2 — two overlapping acquisition queries
+// answered by a spatial cluster through the in-network tier alone.
+TEST(GoldenRegressionTest, Fig2Scenario) {
+  const Topology topology = Topology::Grid(4);
+  const ClusterField field({10, 11, 14, 15, 13});
+  Network network(topology, RadioParams{}, ChannelParams{}, 1);
+  ResultLog log;
+  InNetworkEngine engine(network, field, &log);
+  engine.SubmitQuery(
+      ParseQuery(1, "SELECT light WHERE light > 800 EPOCH DURATION 4096"));
+  engine.SubmitQuery(
+      ParseQuery(2, "SELECT light WHERE light > 890 EPOCH DURATION 4096"));
+  network.sim().RunUntil(8 * 4096);
+
+  CheckGolden("fig2_scenario.txt",
+              FingerprintRun(log, RunSummary::FromLedger(network.ledger(),
+                                                         8 * 4096)));
+}
+
+// Scenario 2: a full TTMQO run — WORKLOAD_C on a 6x6 grid through the
+// complete two-tier stack and experiment harness.
+TEST(GoldenRegressionTest, TtmqoSixBySix) {
+  RunConfig config;
+  config.grid_side = 6;
+  config.mode = OptimizationMode::kTwoTier;
+  config.field = FieldKind::kCorrelated;
+  config.duration_ms = 8 * 12288;
+  config.seed = 42;
+  const RunResult run = RunExperiment(config, StaticSchedule(WorkloadC()));
+  CheckGolden("ttmqo_6x6.txt", FingerprintRun(run));
+}
+
+// Scenario 3: reliability behavior — a crash, a transient outage, and a
+// degraded link on a 4x4 TTMQO run.  Pins retransmission counts and
+// delivery completeness, not just answers.
+TEST(GoldenRegressionTest, FaultPlanRun) {
+  FaultPlan plan;
+  plan.AddCrash(/*node=*/5, /*at=*/3 * 12288);
+  plan.AddOutage(/*node=*/10, /*from=*/2 * 12288, /*until=*/4 * 12288);
+  plan.AddLinkLoss(/*a=*/1, /*b=*/2, /*prob=*/0.3, /*from=*/12288);
+
+  RunConfig config;
+  config.grid_side = 4;
+  config.mode = OptimizationMode::kTwoTier;
+  config.field = FieldKind::kCorrelated;
+  config.duration_ms = 8 * 12288;
+  config.seed = 7;
+  config.faults = plan;
+  const RunResult run = RunExperiment(config, StaticSchedule(WorkloadA()));
+  CheckGolden("fault_plan_4x4.txt", FingerprintRun(run));
+}
+
+}  // namespace
+}  // namespace ttmqo

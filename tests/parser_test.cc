@@ -109,6 +109,105 @@ TEST(ParserTest, RejectsMalformedComparison) {
       ParseError);
 }
 
+// Runs the parser on malformed input and returns the diagnostic; empty
+// when the input unexpectedly parses.  Lets the edge-case tests assert
+// the error *names the mistake* instead of merely throwing.
+std::string ParseErrorMessage(const std::string& sql) {
+  try {
+    ParseQuery(1, sql);
+  } catch (const ParseError& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(ParserTest, EmptySelectListIsDiagnosed) {
+  EXPECT_NE(ParseErrorMessage("SELECT FROM sensors EPOCH DURATION 4096")
+                .find("SELECT list must not be empty"),
+            std::string::npos);
+  EXPECT_NE(ParseErrorMessage("SELECT EPOCH DURATION 4096")
+                .find("SELECT list must not be empty"),
+            std::string::npos);
+  EXPECT_NE(ParseErrorMessage("SELECT WHERE light < 5 EPOCH DURATION 4096")
+                .find("SELECT list must not be empty"),
+            std::string::npos);
+  EXPECT_NE(ParseErrorMessage("SELECT").find("SELECT list must not be empty"),
+            std::string::npos);
+}
+
+TEST(ParserTest, WhitespaceOnlyInputIsDiagnosed) {
+  EXPECT_FALSE(ParseErrorMessage("").empty());
+  EXPECT_FALSE(ParseErrorMessage("   \t\n  ").empty());
+  EXPECT_NE(ParseErrorMessage("  \n ").find("SELECT"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsDuplicateAttributes) {
+  EXPECT_NE(
+      ParseErrorMessage("SELECT light, light FROM sensors EPOCH DURATION 4096")
+          .find("duplicate attribute 'LIGHT'"),
+      std::string::npos);
+  EXPECT_NE(
+      ParseErrorMessage("SELECT light, temp, light EPOCH DURATION 4096")
+          .find("duplicate attribute"),
+      std::string::npos);
+  // Distinct attributes still parse.
+  EXPECT_NO_THROW(ParseQuery(1, "SELECT light, temp EPOCH DURATION 4096"));
+}
+
+TEST(ParserTest, RejectsDuplicateAggregates) {
+  EXPECT_NE(
+      ParseErrorMessage("SELECT MAX(light), MAX(light) EPOCH DURATION 4096")
+          .find("duplicate aggregate"),
+      std::string::npos);
+  // Same attribute under a different op is a different aggregate.
+  EXPECT_NO_THROW(
+      ParseQuery(1, "SELECT MAX(light), MIN(light) EPOCH DURATION 4096"));
+}
+
+TEST(ParserTest, RejectsZeroEpoch) {
+  EXPECT_NE(ParseErrorMessage("SELECT light EPOCH DURATION 0")
+                .find("epoch duration"),
+            std::string::npos);
+}
+
+TEST(ParserTest, RejectsOutOfRangeNodeIds) {
+  EXPECT_NE(
+      ParseErrorMessage(
+          "SELECT light WHERE nodeid = 70000 EPOCH DURATION 4096")
+          .find("outside"),
+      std::string::npos);
+  EXPECT_NE(
+      ParseErrorMessage("SELECT light WHERE nodeid = -1 EPOCH DURATION 4096")
+          .find("outside"),
+      std::string::npos);
+  EXPECT_NE(
+      ParseErrorMessage(
+          "SELECT light WHERE nodeid BETWEEN 0 AND 99999 EPOCH DURATION 4096")
+          .find("outside"),
+      std::string::npos);
+  // The reversed `constant op attr` form is validated too.
+  EXPECT_NE(
+      ParseErrorMessage(
+          "SELECT light WHERE 70000 = nodeid EPOCH DURATION 4096")
+          .find("outside"),
+      std::string::npos);
+  // Boundary values are addresses, not errors.
+  EXPECT_NO_THROW(ParseQuery(
+      1, "SELECT light WHERE nodeid = 65535 EPOCH DURATION 4096"));
+  EXPECT_NO_THROW(
+      ParseQuery(1, "SELECT light WHERE nodeid = 0 EPOCH DURATION 4096"));
+}
+
+TEST(ParserTest, RejectsFractionalNodeIds) {
+  EXPECT_NE(
+      ParseErrorMessage("SELECT light WHERE nodeid = 2.5 EPOCH DURATION 4096")
+          .find("integer"),
+      std::string::npos);
+  // Continuous attributes keep fractional constants.
+  EXPECT_NO_THROW(
+      ParseQuery(1, "SELECT light WHERE temp < 21.5 EPOCH DURATION 4096"));
+}
+
 TEST(ParserTest, MultiplePredicatesOnOneAttributeIntersect) {
   const Query q = ParseQuery(
       1,

@@ -6,6 +6,8 @@
 
 #include <tuple>
 
+#include "fault/fault_plan.h"
+#include "sweep/sweep.h"
 #include "workload/runner.h"
 
 namespace ttmqo {
@@ -76,6 +78,93 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return "Seed" + std::to_string(std::get<0>(info.param)) + "_" + mode;
     });
+
+// Property pass driven through the sweep engine: 20 random workloads,
+// each simulated under baseline and TTMQO on the worker pool, answers
+// compared exactly.  Exercises the parallel path of RunMany with real
+// whole-run payloads (the determinism suite checks byte-stability; this
+// checks the *semantic* property on many more seeds).
+TEST(RandomEquivalenceSweepTest, TwentySeedsMatchBaselineViaSweepEngine) {
+  constexpr int kSeeds = 20;
+  std::vector<std::vector<Query>> workloads;
+  std::vector<RunUnit> units;
+  for (int seed = 101; seed <= 100 + kSeeds; ++seed) {
+    const std::vector<Query> queries =
+        RandomWorkload(static_cast<std::uint64_t>(seed));
+    const auto schedule = StaticSchedule(queries);
+    for (const OptimizationMode mode :
+         {OptimizationMode::kBaseline, OptimizationMode::kTwoTier}) {
+      RunUnit unit;
+      unit.label = "seed" + std::to_string(seed);
+      unit.config.grid_side = 4;
+      unit.config.field = FieldKind::kCorrelated;
+      unit.config.duration_ms = 4 * 12288;
+      unit.config.seed = static_cast<std::uint64_t>(seed) * 31 + 7;
+      unit.config.mode = mode;
+      unit.schedule = schedule;
+      units.push_back(std::move(unit));
+    }
+    workloads.push_back(queries);
+  }
+
+  const std::vector<TimedRunResult> results = RunMany(units, 4);
+  ASSERT_EQ(results.size(), units.size());
+  for (int i = 0; i < kSeeds; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const RunResult& baseline = results[2 * idx].run;
+    const RunResult& ttmqo = results[2 * idx + 1].run;
+    ASSERT_GT(baseline.results.size(), 0u) << units[2 * idx].label;
+    const auto diff = CompareResultLogs(baseline.results, ttmqo.results,
+                                        workloads[idx], 1e-6);
+    EXPECT_FALSE(diff.has_value()) << units[2 * idx].label << ": " << *diff;
+  }
+}
+
+// The same property with a lossless fault plan: node 15 — the far corner
+// of the 4x4 grid, a leaf in both the TinyDB routing tree and the tier-2
+// result DAG (it is the deepest node and never anyone's parent) — goes
+// dark for two epochs.  Both schemes lose exactly that node's rows for
+// the window, so their answer streams must still agree row-for-row.
+// Collisions stay at 0 and no link loss is configured, so the outage is
+// the only perturbation.
+TEST(RandomEquivalenceSweepTest, EquivalenceHoldsUnderLeafOutage) {
+  constexpr int kSeeds = 10;
+  FaultPlan plan;
+  plan.AddOutage(/*node=*/15, /*from=*/2 * 12288, /*until=*/4 * 12288);
+
+  std::vector<std::vector<Query>> workloads;
+  std::vector<RunUnit> units;
+  for (int seed = 201; seed <= 200 + kSeeds; ++seed) {
+    const std::vector<Query> queries =
+        RandomWorkload(static_cast<std::uint64_t>(seed));
+    const auto schedule = StaticSchedule(queries);  // submits at t=16
+    for (const OptimizationMode mode :
+         {OptimizationMode::kBaseline, OptimizationMode::kTwoTier}) {
+      RunUnit unit;
+      unit.label = "fault-seed" + std::to_string(seed);
+      unit.config.grid_side = 4;
+      unit.config.field = FieldKind::kCorrelated;
+      unit.config.duration_ms = 6 * 12288;
+      unit.config.seed = static_cast<std::uint64_t>(seed) * 31 + 7;
+      unit.config.mode = mode;
+      unit.config.faults = plan;
+      unit.schedule = schedule;
+      units.push_back(std::move(unit));
+    }
+    workloads.push_back(queries);
+  }
+
+  const std::vector<TimedRunResult> results = RunMany(units, 4);
+  for (int i = 0; i < kSeeds; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const RunResult& baseline = results[2 * idx].run;
+    const RunResult& ttmqo = results[2 * idx + 1].run;
+    ASSERT_GT(baseline.results.size(), 0u) << units[2 * idx].label;
+    const auto diff = CompareResultLogs(baseline.results, ttmqo.results,
+                                        workloads[idx], 1e-6);
+    EXPECT_FALSE(diff.has_value()) << units[2 * idx].label << ": " << *diff;
+  }
+}
 
 }  // namespace
 }  // namespace ttmqo
