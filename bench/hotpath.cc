@@ -1,0 +1,308 @@
+// Hot-path benchmark for the discrete-event core, in three parts:
+//
+//   A. sweep     — the committed BENCH_sweep.json spec at jobs=1; reports
+//                  serial events/sec and the speedup against the baseline
+//                  recorded before the allocation-free engine landed.
+//   B. dense     — a synthetic worst case the figure sweeps never reach:
+//                  a 10x10 grid where every node multicasts to all of its
+//                  neighbors on a fast period over a colliding (p=0.1),
+//                  lossy (p=0.05) channel, so the interference-counting,
+//                  retry, and per-destination loss paths dominate.
+//   C. probe     — the allocation counter: a broadcast-only steady state
+//                  runs a warmup (vectors reach capacity, the event slab
+//                  reaches its high-water mark), then the same workload
+//                  runs again under a global operator-new counter.  The
+//                  engine's contract is zero heap allocations per event in
+//                  steady state; the probe measures it rather than trusts
+//                  it.
+//
+//   $ hotpath                         # full artifact -> BENCH_hotpath.json
+//   $ hotpath --spec="grids=4 ..." --dense-ms=5000 --probe-ms=5000
+//
+// Flags:
+//   --spec=<text|@...>  sweep spec for part A (default: the committed
+//                       BENCH_sweep.json spec)
+//   --out=p.json        artifact path (default BENCH_hotpath.json)
+//   --baseline=N        pre-overhaul serial events/sec to compare against
+//                       (default 735962, from the committed BENCH_sweep.json)
+//   --dense-ms=N        simulated duration of part B (default 60000)
+//   --probe-ms=N        simulated warmup and measurement duration of part C
+//                       (default 60000 each)
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <new>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+#include "sweep/spec.h"
+#include "util/flags.h"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter.  Every path into the heap in this binary goes
+// through these replaceable operators; part C reads the counter around a
+// measured simulation window to prove the steady-state event loop never
+// touches the allocator.
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace ttmqo {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedMs(Clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - since)
+      .count();
+}
+
+double EventsPerSec(std::uint64_t events, double wall_ms) {
+  return static_cast<double>(events) * 1000.0 / wall_ms;
+}
+
+/// A node that re-sends the same message shape on a fixed period through a
+/// pooled, inline-captured event — the traffic generator for parts B and C.
+struct NodeTicker {
+  Network* net = nullptr;
+  NodeId node = 0;
+  SimDuration period = 0;
+  AddressMode mode = AddressMode::kBroadcast;
+  std::size_t payload_bytes = 0;
+
+  void Tick() {
+    Message msg;
+    msg.cls = MessageClass::kMaintenance;
+    msg.mode = mode;
+    msg.sender = node;
+    if (mode == AddressMode::kMulticast) {
+      msg.destinations = net->topology().NeighborsOf(node);
+    }
+    msg.payload_bytes = payload_bytes;
+    net->Send(std::move(msg));
+    net->sim().ScheduleAfter(period, [this] { Tick(); });
+  }
+};
+
+/// Starts one ticker per non-sink node, staggered by node index so the
+/// radios do not phase-lock.
+void StartTickers(std::vector<NodeTicker>& tickers, Network& net,
+                  SimDuration period, AddressMode mode,
+                  std::size_t payload_bytes) {
+  const std::size_t n = net.topology().size();
+  tickers.resize(n);
+  for (NodeId node = 1; node < n; ++node) {
+    tickers[node] = NodeTicker{&net, node, period, mode, payload_bytes};
+    NodeTicker* ticker = &tickers[node];
+    net.sim().ScheduleAt(static_cast<SimTime>(node) % period,
+                         [ticker] { ticker->Tick(); });
+  }
+}
+
+struct SweepResult {
+  std::size_t tasks = 0;
+  std::uint64_t events = 0;
+  double wall_ms = 0.0;
+};
+
+SweepResult RunSweepPart(const SweepSpec& spec) {
+  std::printf("hotpath: part A — sweep, %zu tasks at jobs=1...\n",
+              spec.TaskCount());
+  const SweepReport report = RunSweep(spec, 1);
+  return {report.rows.size(), report.TotalEvents(), report.wall_ms};
+}
+
+struct DenseResult {
+  std::uint64_t events = 0;
+  double wall_ms = 0.0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t link_drops = 0;
+};
+
+DenseResult RunDensePart(SimDuration duration_ms) {
+  std::printf("hotpath: part B — dense contention, %lld sim ms...\n",
+              static_cast<long long>(duration_ms));
+  const Topology topology = Topology::Grid(10);
+  ChannelParams channel;
+  channel.collision_prob = 0.1;
+  Network net(topology, RadioParams{}, channel, /*seed=*/1);
+  net.SetDefaultLinkLoss(0.05);
+  // Per-receiver loss is only rolled for neighbors that could actually
+  // receive, so the lossy path needs installed receivers to be exercised.
+  for (NodeId node = 0; node < topology.size(); ++node) {
+    net.SetReceiver(node, [](const Message&, bool) {});
+  }
+  std::vector<NodeTicker> tickers;
+  StartTickers(tickers, net, /*period=*/128, AddressMode::kMulticast,
+               /*payload_bytes=*/24);
+  const auto start = Clock::now();
+  net.sim().RunUntil(duration_ms);
+  DenseResult result;
+  result.wall_ms = ElapsedMs(start);
+  result.events = net.sim().events_executed();
+  result.retransmissions = net.ledger().TotalRetransmissions();
+  result.link_drops = net.link_drops();
+  return result;
+}
+
+struct ProbeResult {
+  std::uint64_t events = 0;
+  double wall_ms = 0.0;
+  std::uint64_t allocations = 0;
+};
+
+ProbeResult RunProbePart(SimDuration probe_ms) {
+  std::printf("hotpath: part C — allocation probe, %lld + %lld sim ms...\n",
+              static_cast<long long>(probe_ms),
+              static_cast<long long>(probe_ms));
+  // Clean channel, no receivers: every event is pure hot path (tick, send,
+  // begin, complete, deliver-to-nobody), so any allocation counted below
+  // is the event engine's own.
+  const Topology topology = Topology::Grid(4);
+  Network net(topology, RadioParams{}, ChannelParams{}, /*seed=*/1);
+  const auto tx_ms = static_cast<SimDuration>(
+      std::ceil(net.radio().TransmitDurationMs(24)));
+  std::vector<NodeTicker> tickers;
+  // Period >> transmit time, so the per-node radio never backlogs and the
+  // pending-event count stays flat after warmup.
+  StartTickers(tickers, net, /*period=*/8 * tx_ms, AddressMode::kBroadcast,
+               /*payload_bytes=*/24);
+
+  // Warmup: the event slab, free list, and per-sender flight vectors grow
+  // to their high-water marks here, not in the measured window.
+  net.sim().RunUntil(probe_ms);
+
+  const std::uint64_t events_before = net.sim().events_executed();
+  const std::uint64_t allocs_before =
+      g_allocations.load(std::memory_order_relaxed);
+  const auto start = Clock::now();
+  net.sim().RunUntil(2 * probe_ms);
+  ProbeResult result;
+  result.wall_ms = ElapsedMs(start);
+  result.events = net.sim().events_executed() - events_before;
+  result.allocations =
+      g_allocations.load(std::memory_order_relaxed) - allocs_before;
+  return result;
+}
+
+std::string LoadSpecText(const std::string& arg) {
+  if (arg.empty() || arg[0] != '@') return arg;
+  std::ifstream in(arg.substr(1));
+  if (!in) throw std::runtime_error("cannot open spec file: " + arg.substr(1));
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return text;
+}
+
+int Main(int argc, char** argv) {
+  const Flags flags = Flags::Parse(argc, argv);
+  const std::string spec_arg = flags.GetString(
+      "spec",
+      "grids=4,6,8,10 workloads=C modes=baseline,ttmqo faults=none seeds=1 "
+      "base-seed=1 duration-ms=245760 collisions=0.02 alpha=0.6");
+  const std::string out_path = flags.GetString("out", "BENCH_hotpath.json");
+  const double baseline = flags.GetDouble("baseline", 735962.0);
+  const auto dense_ms = static_cast<SimDuration>(
+      flags.GetInt("dense-ms", 60'000));
+  const auto probe_ms = static_cast<SimDuration>(
+      flags.GetInt("probe-ms", 60'000));
+  if (ReportUnreadFlags(flags)) return 2;
+
+  const SweepSpec spec = SweepSpec::Parse(LoadSpecText(spec_arg));
+  const SweepResult sweep = RunSweepPart(spec);
+  const double sweep_eps = EventsPerSec(sweep.events, sweep.wall_ms);
+  const DenseResult dense = RunDensePart(dense_ms);
+  const ProbeResult probe = RunProbePart(probe_ms);
+  const double allocs_per_event =
+      static_cast<double>(probe.allocations) /
+      static_cast<double>(probe.events);
+
+  std::ofstream out(out_path);
+  if (!out) throw std::runtime_error("cannot open output file: " + out_path);
+  char buf[512];
+  out << "{\n";
+  out << "  \"bench\": \"hotpath\",\n";
+  out << "  \"spec\": \"" << spec.ToString() << "\",\n";
+  std::snprintf(buf, sizeof(buf), "  \"baseline_events_per_sec\": %.0f,\n",
+                baseline);
+  out << buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      "  \"sweep\": {\"tasks\": %zu, \"events_executed\": %llu, "
+      "\"wall_ms\": %.1f, \"events_per_sec\": %.0f, "
+      "\"speedup_vs_baseline\": %.3f},\n",
+      sweep.tasks, static_cast<unsigned long long>(sweep.events),
+      sweep.wall_ms, sweep_eps, sweep_eps / baseline);
+  out << buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      "  \"dense\": {\"sim_ms\": %lld, \"events_executed\": %llu, "
+      "\"wall_ms\": %.1f, \"events_per_sec\": %.0f, "
+      "\"retransmissions\": %llu, \"link_drops\": %llu},\n",
+      static_cast<long long>(dense_ms),
+      static_cast<unsigned long long>(dense.events), dense.wall_ms,
+      EventsPerSec(dense.events, dense.wall_ms),
+      static_cast<unsigned long long>(dense.retransmissions),
+      static_cast<unsigned long long>(dense.link_drops));
+  out << buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      "  \"alloc_probe\": {\"sim_ms\": %lld, \"events_measured\": %llu, "
+      "\"allocations\": %llu, \"allocs_per_event\": %g}\n",
+      static_cast<long long>(probe_ms),
+      static_cast<unsigned long long>(probe.events),
+      static_cast<unsigned long long>(probe.allocations), allocs_per_event);
+  out << buf;
+  out << "}\n";
+
+  std::printf(
+      "hotpath: sweep %.0f events/sec (x%.2f vs baseline %.0f); dense %.0f "
+      "events/sec, %llu retransmissions, %llu link drops; probe %llu allocs "
+      "over %llu events (%g/event); wrote %s\n",
+      sweep_eps, sweep_eps / baseline, baseline,
+      EventsPerSec(dense.events, dense.wall_ms),
+      static_cast<unsigned long long>(dense.retransmissions),
+      static_cast<unsigned long long>(dense.link_drops),
+      static_cast<unsigned long long>(probe.allocations),
+      static_cast<unsigned long long>(probe.events), allocs_per_event,
+      out_path.c_str());
+  if (probe.allocations != 0) {
+    std::fprintf(stderr,
+                 "hotpath: WARNING — steady state allocated (%llu allocs); "
+                 "an event capture likely outgrew the inline buffer\n",
+                 static_cast<unsigned long long>(probe.allocations));
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ttmqo
+
+int main(int argc, char** argv) {
+  try {
+    return ttmqo::Main(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hotpath: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,8 +1,5 @@
 #include "metrics/epoch_sampler.h"
 
-#include <functional>
-#include <memory>
-
 #include "util/check.h"
 
 namespace ttmqo {
@@ -11,15 +8,16 @@ void EpochSampler::Start(Network& network, SimDuration period_ms) {
   CheckArg(period_ms > 0, "EpochSampler: period must be positive");
   CheckArg(period_ms_ == 0, "EpochSampler: already started");
   period_ms_ = period_ms;
+  network_ = &network;
   previous_ = Capture(network.ledger());
+  // The tick reschedules itself through the pooled event slab; the [this]
+  // capture stays inline, so sampling never allocates per epoch.
+  network.sim().ScheduleAfter(period_ms_, [this] { Tick(); });
+}
 
-  auto tick = std::make_shared<std::function<void()>>();
-  Network* net = &network;
-  *tick = [this, net, tick]() {
-    Sample(*net);
-    net->sim().ScheduleAfter(period_ms_, *tick);
-  };
-  network.sim().ScheduleAfter(period_ms_, *tick);
+void EpochSampler::Tick() {
+  Sample(*network_);
+  network_->sim().ScheduleAfter(period_ms_, [this] { Tick(); });
 }
 
 EpochSampler::Snapshot EpochSampler::Capture(const RadioLedger& ledger) {

@@ -72,9 +72,11 @@ class EpochSampler {
   };
 
   void Sample(Network& network);
+  void Tick();
   static Snapshot Capture(const RadioLedger& ledger);
   void WriteRowJson(std::ostream& out, const EpochRow& row) const;
 
+  Network* network_ = nullptr;
   SimDuration period_ms_ = 0;
   Snapshot previous_;
   std::vector<EpochRow> rows_;

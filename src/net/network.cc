@@ -20,7 +20,9 @@ Network::Network(const Topology& topology, RadioParams radio,
       down_since_(topology.size(), 0),
       loss_rng_(seed ^ 0x6c6f7373ULL),
       sleep_since_(topology.size(), 0),
-      busy_until_(topology.size(), 0) {
+      busy_until_(topology.size(), 0),
+      flight_ends_(topology.size()),
+      active_slot_(topology.size(), 0) {
   channel_.Validate();
 }
 
@@ -134,6 +136,34 @@ void Network::Send(Message msg) {
   BeginAttempt(std::move(msg), /*attempt=*/0);
 }
 
+void Network::AddFlight(NodeId sender, SimTime end) {
+  std::vector<SimTime>& ends = flight_ends_[sender];
+  if (ends.empty()) {
+    active_slot_[sender] = static_cast<std::uint32_t>(active_senders_.size());
+    active_senders_.push_back(sender);
+  }
+  ends.push_back(end);
+  ++total_flights_;
+}
+
+void Network::RemoveFlight(NodeId sender, SimTime end) {
+  std::vector<SimTime>& ends = flight_ends_[sender];
+  for (std::size_t i = 0; i < ends.size(); ++i) {
+    if (ends[i] != end) continue;
+    ends[i] = ends.back();
+    ends.pop_back();
+    --total_flights_;
+    if (ends.empty()) {
+      const std::uint32_t slot = active_slot_[sender];
+      const NodeId last = active_senders_.back();
+      active_senders_[slot] = last;
+      active_slot_[last] = slot;
+      active_senders_.pop_back();
+    }
+    return;
+  }
+}
+
 void Network::BeginAttempt(Message msg, int attempt) {
   const NodeId sender = msg.sender;
   const SimTime start = std::max(sim_.Now(), busy_until_[sender]);
@@ -146,35 +176,39 @@ void Network::BeginAttempt(Message msg, int attempt) {
   if (!observers_.empty()) {
     observers_.OnTransmit(start, msg, duration_ms, attempt > 0);
   }
-  in_flight_.push_back(Flight{sender, start + duration});
+  AddFlight(sender, start + duration);
 
-  sim_.ScheduleAt(start + duration, [this, msg = std::move(msg), attempt,
-                                     start]() mutable {
-    CompleteAttempt(msg, attempt, start);
-  });
+  auto complete = [this, msg = std::move(msg), attempt, start]() mutable {
+    CompleteAttempt(std::move(msg), attempt, start);
+  };
+  // The steady-state radio path must never allocate: the completion event —
+  // the largest hot-path capture (Message + attempt + start + this) — has to
+  // fit the simulator's inline event storage.  If Message grows past the
+  // slab slot size this fires at compile time instead of silently degrading
+  // every schedule into a heap allocation.
+  static_assert(Simulator::EventFn::kFitsInline<decltype(complete)>,
+                "radio completion event no longer fits EventFn inline "
+                "storage; grow Simulator::EventFn's capacity");
+  sim_.ScheduleAt(start + duration, std::move(complete));
 }
 
-void Network::CompleteAttempt(const Message& msg, int attempt,
-                              SimTime started) {
+void Network::CompleteAttempt(Message msg, int attempt, SimTime started) {
   // Retire this flight record (even for a sender that went dark mid-air, so
   // stale flights never linger in the interference count).
-  const SimTime end = sim_.Now();
-  const auto it = std::find_if(
-      in_flight_.begin(), in_flight_.end(), [&](const Flight& f) {
-        return f.sender == msg.sender && f.end == end;
-      });
-  const std::size_t interferers = CountInterferers(msg.sender, started);
-  if (it != in_flight_.end()) in_flight_.erase(it);
+  RemoveFlight(msg.sender, sim_.Now());
   if (failed_[msg.sender] || down_[msg.sender]) {
     return;  // went dark mid-air: nothing is delivered, retries die
   }
 
   bool collided = false;
-  if (channel_.collision_prob > 0.0 && interferers > 0) {
-    const double survive =
-        std::pow(1.0 - channel_.collision_prob,
-                 static_cast<double>(interferers));
-    collided = !rng_.Bernoulli(survive);
+  if (channel_.collision_prob > 0.0) {
+    const std::size_t interferers = CountInterferers(msg.sender, started);
+    if (interferers > 0) {
+      const double survive =
+          std::pow(1.0 - channel_.collision_prob,
+                   static_cast<double>(interferers));
+      collided = !rng_.Bernoulli(survive);
+    }
   }
   if (collided) {
     if (attempt >= channel_.max_retries) {
@@ -184,52 +218,78 @@ void Network::CompleteAttempt(const Message& msg, int attempt,
     }
     const auto backoff = static_cast<SimDuration>(
         std::ceil(channel_.backoff_ms * static_cast<double>(attempt + 1)));
-    Message retry = msg;
-    sim_.ScheduleAfter(backoff, [this, retry = std::move(retry), attempt]() mutable {
-      BeginAttempt(std::move(retry), attempt + 1);
-    });
+    // The message moves through the whole retry chain — scheduling, firing,
+    // re-beginning — without a single copy.
+    auto retry = [this, msg = std::move(msg), attempt]() mutable {
+      BeginAttempt(std::move(msg), attempt + 1);
+    };
+    static_assert(Simulator::EventFn::kFitsInline<decltype(retry)>,
+                  "radio retry event no longer fits EventFn inline storage");
+    sim_.ScheduleAfter(backoff, std::move(retry));
     return;
   }
   Deliver(msg);
 }
 
 std::size_t Network::CountInterferers(NodeId sender, SimTime started) const {
-  // Transmissions overlapping [started, now] whose sender lies within twice
-  // the radio range (interference radius) of `sender`.
+  // Transmissions overlapping [started, now] whose sender lies within the
+  // precomputed interference set (twice the radio range) of `sender`: a
+  // bitset membership test over the senders with active flights replaces
+  // the legacy distance scan of every flight.  The `end > started` filter
+  // preserves the exact legacy overlap semantics (it only differs from
+  // "any active flight" for zero-duration transmissions completing in the
+  // same instant).
   std::size_t count = 0;
-  const Position& here = topology_->PositionOf(sender);
-  for (const Flight& f : in_flight_) {
-    if (f.sender == sender) continue;
-    if (f.end <= started) continue;  // ended before we began
-    if (Distance(here, topology_->PositionOf(f.sender)) <=
-        2.0 * topology_->range_feet()) {
-      ++count;
+  for (const NodeId other : active_senders_) {
+    if (other == sender || !topology_->InInterferenceRange(sender, other)) {
+      continue;
+    }
+    for (const SimTime end : flight_ends_[other]) {
+      count += end > started ? 1 : 0;
     }
   }
   return count;
 }
 
 void Network::Deliver(const Message& msg) {
+  // Hot-path short circuits, hoisted out of the per-neighbor loop: skip
+  // the loss lookup entirely on lossless deployments (no per-link override,
+  // zero default — the common case), and pick the destination-membership
+  // strategy once.  Large multicasts are answered by binary search over a
+  // sorted scratch copy; small ones by a linear scan of the original.
+  const bool lossy = default_link_loss_ > 0.0 || !link_loss_.empty();
+  constexpr std::size_t kSmallDestinations = 8;
+  const bool use_sorted = msg.mode == AddressMode::kMulticast &&
+                          msg.destinations.size() > kSmallDestinations;
+  if (use_sorted) {
+    dest_scratch_.assign(msg.destinations.begin(), msg.destinations.end());
+    std::sort(dest_scratch_.begin(), dest_scratch_.end());
+  }
   for (NodeId neighbor : topology_->NeighborsOf(msg.sender)) {
     if (failed_[neighbor] || down_[neighbor]) continue;
     const Receiver& receiver = receivers_[neighbor];
     if (!receiver) continue;
     const bool addressed =
         msg.mode == AddressMode::kBroadcast ||
-        std::find(msg.destinations.begin(), msg.destinations.end(),
-                  neighbor) != msg.destinations.end();
+        (use_sorted
+             ? std::binary_search(dest_scratch_.begin(), dest_scratch_.end(),
+                                  neighbor)
+             : std::find(msg.destinations.begin(), msg.destinations.end(),
+                         neighbor) != msg.destinations.end());
     // Low-power listening: a sleeping radio still catches traffic addressed
     // to it (the sender's preamble wakes it) but cannot overhear.
     if (asleep_[neighbor] && !addressed) continue;
     // Independent per-receiver link loss (orthogonal to the contention
     // model): the sender never learns about the loss and does not retry.
-    const double loss = LinkLossOf(msg.sender, neighbor);
-    if (loss > 0.0 && loss_rng_.Bernoulli(loss)) {
-      ++link_drops_;
-      if (!observers_.empty()) {
-        observers_.OnLinkDrop(sim_.Now(), msg, neighbor);
+    if (lossy) {
+      const double loss = LinkLossOf(msg.sender, neighbor);
+      if (loss > 0.0 && loss_rng_.Bernoulli(loss)) {
+        ++link_drops_;
+        if (!observers_.empty()) {
+          observers_.OnLinkDrop(sim_.Now(), msg, neighbor);
+        }
+        continue;
       }
-      continue;
     }
     if (addressed) ledger_.CountReceive(neighbor);
     receiver(msg, addressed);
@@ -239,25 +299,41 @@ void Network::Deliver(const Message& msg) {
 void Network::StartMaintenanceBeacons(SimDuration period,
                                       std::size_t payload_bytes) {
   CheckArg(period > 0, "StartMaintenanceBeacons: period must be positive");
+  // Each call registers one beacon set; the per-node tick events reference
+  // it by index and reschedule themselves through the pooled event slab —
+  // no per-node shared_ptr<std::function> chain, no per-tick allocation.
+  const auto set = static_cast<std::uint32_t>(beacon_sets_.size());
+  beacon_sets_.push_back(BeaconSet{period, payload_bytes});
   for (NodeId node : topology_->AllNodes()) {
     // Stagger nodes across the period so beacons do not synchronize.
     const SimDuration offset =
         static_cast<SimDuration>(node) * period /
         static_cast<SimDuration>(topology_->size());
-    auto beacon = std::make_shared<std::function<void()>>();
-    *beacon = [this, node, period, payload_bytes, beacon]() {
-      if (failed_[node]) return;  // a dead node's beacon chain ends
-      if (!asleep_[node] && !down_[node]) {
-        Message msg;
-        msg.cls = MessageClass::kMaintenance;
-        msg.mode = AddressMode::kBroadcast;
-        msg.sender = node;
-        msg.payload_bytes = payload_bytes;
-        Send(std::move(msg));
-      }
-      sim_.ScheduleAfter(period, *beacon);
-    };
-    sim_.ScheduleAfter(offset, *beacon);
+    sim_.ScheduleAfter(offset, [this, node, set] { BeaconTick(node, set); });
+  }
+}
+
+void Network::BeaconTick(NodeId node, std::uint32_t set) {
+  if (failed_[node]) return;  // a dead node's beacon chain ends
+  const BeaconSet& beacon = beacon_sets_[set];
+  if (!asleep_[node] && !down_[node]) {
+    Message msg;
+    msg.cls = MessageClass::kMaintenance;
+    msg.mode = AddressMode::kBroadcast;
+    msg.sender = node;
+    msg.payload_bytes = beacon.payload_bytes;
+    Send(std::move(msg));
+  }
+  sim_.ScheduleAfter(beacon.period,
+                     [this, node, set] { BeaconTick(node, set); });
+}
+
+void Network::FinalizeAccounting() {
+  for (NodeId node = 0; node < asleep_.size(); ++node) {
+    if (!asleep_[node]) continue;
+    ledger_.AddSleep(node,
+                     static_cast<double>(sim_.Now() - sleep_since_[node]));
+    sleep_since_[node] = sim_.Now();
   }
 }
 

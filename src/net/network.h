@@ -126,8 +126,15 @@ class Network {
   /// messages".
   void StartMaintenanceBeacons(SimDuration period, std::size_t payload_bytes);
 
+  /// Closes every open accounting span at `Now()` — currently the sleep
+  /// spans of nodes still asleep (including nodes that failed mid-sleep),
+  /// which would otherwise never reach the ledger.  Idempotent: spans
+  /// reopen at `Now()`, so later state changes account only the remainder.
+  /// The experiment harness calls this before summarizing a run.
+  void FinalizeAccounting();
+
   /// Number of transmissions currently in flight (diagnostics).
-  std::size_t in_flight() const { return in_flight_.size(); }
+  std::size_t in_flight() const { return total_flights_; }
 
   /// The event observer fan-out.  Any number of observers (trace writers,
   /// metric collectors, samplers) may be attached concurrently via
@@ -145,15 +152,19 @@ class Network {
   }
 
  private:
-  struct Flight {
-    NodeId sender;
-    SimTime end;
+  /// One `StartMaintenanceBeacons` call; ticks reference it by index.
+  struct BeaconSet {
+    SimDuration period;
+    std::size_t payload_bytes;
   };
 
   void BeginAttempt(Message msg, int attempt);
-  void CompleteAttempt(const Message& msg, int attempt, SimTime started);
+  void CompleteAttempt(Message msg, int attempt, SimTime started);
   std::size_t CountInterferers(NodeId sender, SimTime started) const;
   void Deliver(const Message& msg);
+  void BeaconTick(NodeId node, std::uint32_t set);
+  void AddFlight(NodeId sender, SimTime end);
+  void RemoveFlight(NodeId sender, SimTime end);
 
   const Topology* topology_;
   RadioParams radio_;
@@ -176,8 +187,17 @@ class Network {
   Rng loss_rng_;
   std::vector<SimTime> sleep_since_;
   std::vector<SimTime> busy_until_;
-  std::vector<Flight> in_flight_;
-  std::uint64_t next_flight_id_ = 0;
+  /// O(1) flight tracking: per-sender end times (appended at begin,
+  /// swap-removed at complete; capacity is retained, so steady state never
+  /// allocates) plus a compact list of senders with at least one active
+  /// flight — `CountInterferers` walks only those.
+  std::vector<std::vector<SimTime>> flight_ends_;
+  std::vector<NodeId> active_senders_;
+  std::vector<std::uint32_t> active_slot_;
+  std::size_t total_flights_ = 0;
+  std::vector<BeaconSet> beacon_sets_;
+  /// Scratch for sorted destination lookups on large multicasts.
+  std::vector<NodeId> dest_scratch_;
   ObserverMux observers_;
   NetworkObserver* legacy_observer_ = nullptr;
 };

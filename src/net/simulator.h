@@ -3,14 +3,23 @@
 // A single-threaded event loop with a totally ordered queue: events fire in
 // (time, insertion-sequence) order, so equal-time events run in the order
 // they were scheduled and every run is exactly reproducible.
+//
+// Internals are built for an allocation-free steady state:
+//   - The priority queue is a hand-rolled binary heap of 24-byte
+//     `QueuedEvent` records (time, sequence, slot) — sifting moves plain
+//     integers, never callables.
+//   - Callables live in a slab of pooled `EventFn` slots recycled through a
+//     free list; `EventFn` stores small captures inline (see
+//     `InlineCallable`), so scheduling and firing a radio event performs no
+//     heap allocation once the slab and heap have reached their high-water
+//     marks.  Events are moved through the pipeline, never copied.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
 #include "util/check.h"
+#include "util/inline_callable.h"
 #include "util/time.h"
 
 namespace ttmqo {
@@ -18,6 +27,12 @@ namespace ttmqo {
 /// The event loop.  Not thread-safe (by design: determinism).
 class Simulator {
  public:
+  /// An event handler.  The inline capacity is sized for the radio hot
+  /// path's largest capture (a `Message` plus attempt counter, start time,
+  /// and network pointer — see the static_asserts in network.cc); bigger
+  /// captures still work but fall back to one heap allocation.
+  using EventFn = InlineCallable<104>;
+
   Simulator() = default;
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -26,10 +41,10 @@ class Simulator {
   SimTime Now() const { return now_; }
 
   /// Schedules `fn` at absolute time `t` (>= Now()).
-  void ScheduleAt(SimTime t, std::function<void()> fn);
+  void ScheduleAt(SimTime t, EventFn fn);
 
   /// Schedules `fn` `delay` ms from now (delay >= 0).
-  void ScheduleAfter(SimDuration delay, std::function<void()> fn);
+  void ScheduleAfter(SimDuration delay, EventFn fn);
 
   /// Runs events until the queue empties or simulated time would exceed
   /// `until`; afterwards Now() == `until` (events at exactly `until` run).
@@ -42,25 +57,34 @@ class Simulator {
   std::uint64_t events_executed() const { return events_executed_; }
 
   /// Number of events waiting.
-  std::size_t pending() const { return queue_.size(); }
+  std::size_t pending() const { return heap_.size(); }
 
  private:
-  struct Event {
+  /// One heap record.  The callable itself stays put in `slab_[slot]`
+  /// while this trivially-copyable triple percolates through the heap.
+  struct QueuedEvent {
     SimTime time;
     std::uint64_t seq;
-    std::function<void()> fn;
+    std::uint32_t slot;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
+
+  static bool Earlier(const QueuedEvent& a, const QueuedEvent& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  void SiftUp(std::size_t i);
+  void SiftDown(std::size_t i);
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  /// Min-heap on (time, seq).
+  std::vector<QueuedEvent> heap_;
+  /// Pooled callable storage indexed by `QueuedEvent::slot`.
+  std::vector<EventFn> slab_;
+  /// Recycled slab slots.
+  std::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace ttmqo

@@ -1,0 +1,139 @@
+// A move-only callable with small-buffer-optimized storage.
+//
+// `InlineCallable<Capacity>` stores any callable of at most `Capacity`
+// bytes directly in the object (no heap allocation on construction, move,
+// or invocation); larger callables transparently fall back to one heap
+// allocation.  Unlike `std::function` it is move-only, so captured state
+// (a `Message`, a payload handle) is moved through the event pipeline and
+// never copied, and moving the wrapper itself never allocates.  The
+// simulator's event slab relies on both properties for its allocation-free
+// steady state; `kFitsInline<F>` lets hot paths static_assert that their
+// capture actually stays inline.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ttmqo {
+
+template <std::size_t Capacity>
+class InlineCallable {
+ public:
+  /// Bytes of inline storage.
+  static constexpr std::size_t kCapacity = Capacity;
+
+  /// True when a callable of type `F` lives in the inline buffer, making
+  /// its entire lifecycle (construct, move, invoke, destroy) heap-free.
+  /// Requires a nothrow move constructor because relocation happens inside
+  /// noexcept move operations and slab growth.
+  template <typename F>
+  static constexpr bool kFitsInline =
+      sizeof(F) <= Capacity && alignof(F) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<F>;
+
+  InlineCallable() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineCallable> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineCallable(F&& fn) {  // NOLINT(google-explicit-constructor)
+    using Decayed = std::decay_t<F>;
+    if constexpr (kFitsInline<Decayed>) {
+      ::new (static_cast<void*>(storage_)) Decayed(std::forward<F>(fn));
+      ops_ = &kInlineOps<Decayed>;
+    } else {
+      ::new (static_cast<void*>(storage_))
+          Decayed*(new Decayed(std::forward<F>(fn)));
+      ops_ = &kHeapOps<Decayed>;
+    }
+  }
+
+  InlineCallable(InlineCallable&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineCallable& operator=(InlineCallable&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(storage_, other.storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineCallable(const InlineCallable&) = delete;
+  InlineCallable& operator=(const InlineCallable&) = delete;
+
+  ~InlineCallable() { Reset(); }
+
+  /// True when a callable is held.
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  /// True when the held callable is stored inline (diagnostics).
+  bool is_inline() const noexcept {
+    return ops_ != nullptr && ops_->stored_inline;
+  }
+
+  /// Invokes the held callable; undefined when empty.
+  void operator()() { ops_->invoke(storage_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    /// Move-constructs the callable at `dst` from `src`, then destroys the
+    /// one at `src` (relocation — used by moves and slab growth).
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+    bool stored_inline;
+  };
+
+  template <typename F>
+  static F* Stored(void* storage) noexcept {
+    return std::launder(reinterpret_cast<F*>(storage));
+  }
+
+  template <typename F>
+  static constexpr Ops kInlineOps = {
+      /*invoke=*/[](void* s) { (*Stored<F>(s))(); },
+      /*relocate=*/
+      [](void* dst, void* src) noexcept {
+        F* from = Stored<F>(src);
+        ::new (dst) F(std::move(*from));
+        from->~F();
+      },
+      /*destroy=*/[](void* s) noexcept { Stored<F>(s)->~F(); },
+      /*stored_inline=*/true,
+  };
+
+  template <typename F>
+  static constexpr Ops kHeapOps = {
+      /*invoke=*/[](void* s) { (**Stored<F*>(s))(); },
+      /*relocate=*/
+      [](void* dst, void* src) noexcept {
+        ::new (dst) F*(*Stored<F*>(src));
+      },
+      /*destroy=*/[](void* s) noexcept { delete *Stored<F*>(s); },
+      /*stored_inline=*/false,
+  };
+
+  void Reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char storage_[Capacity];
+};
+
+}  // namespace ttmqo

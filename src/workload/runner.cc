@@ -237,32 +237,48 @@ RunResult RunExperiment(const RunConfig& config,
   // Fault injection (crashes, outages, link loss, partitions).
   faults.ScheduleOn(network, config.obs.trace);
 
-  // Periodic statistics sampler (time-weighted averages).
-  double sum_network_queries = 0.0;
-  double sum_benefit_ratio = 0.0;
-  std::uint64_t samples = 0;
-  if (config.stats_sample_period_ms > 0) {
-    auto sampler = std::make_shared<std::function<void()>>();
-    *sampler = [&, sampler]() {
+  // Periodic statistics sampler (time-weighted averages).  The recurring
+  // tick lives on this stack frame and reschedules itself through the
+  // pooled event slab — one small [this] capture per tick, no allocation.
+  struct StatsSampler {
+    TtmqoEngine& engine;
+    Simulator& sim;
+    SimDuration period;
+    double sum_network_queries = 0.0;
+    double sum_benefit_ratio = 0.0;
+    std::uint64_t samples = 0;
+
+    void Tick() {
       if (engine.NumUserQueries() > 0) {
-        sum_network_queries +=
-            static_cast<double>(engine.NumNetworkQueries());
+        sum_network_queries += static_cast<double>(engine.NumNetworkQueries());
         sum_benefit_ratio += engine.BenefitRatio();
         ++samples;
       }
-      network.sim().ScheduleAfter(config.stats_sample_period_ms, *sampler);
-    };
-    network.sim().ScheduleAfter(config.stats_sample_period_ms, *sampler);
+      sim.ScheduleAfter(period, [this] { Tick(); });
+    }
+  };
+  StatsSampler stats{engine, network.sim(), config.stats_sample_period_ms};
+  if (config.stats_sample_period_ms > 0) {
+    network.sim().ScheduleAfter(config.stats_sample_period_ms,
+                                [&stats] { stats.Tick(); });
   }
 
   network.sim().RunUntil(config.duration_ms);
 
+  // Flush open accounting spans (e.g. a node still asleep, or failed while
+  // asleep) so the summary sees the whole run.
+  network.FinalizeAccounting();
+
   run.summary =
       RunSummary::FromLedger(network.ledger(), config.duration_ms);
   run.avg_network_queries =
-      samples > 0 ? sum_network_queries / static_cast<double>(samples) : 0.0;
+      stats.samples > 0
+          ? stats.sum_network_queries / static_cast<double>(stats.samples)
+          : 0.0;
   run.avg_benefit_ratio =
-      samples > 0 ? sum_benefit_ratio / static_cast<double>(samples) : 0.0;
+      stats.samples > 0
+          ? stats.sum_benefit_ratio / static_cast<double>(stats.samples)
+          : 0.0;
   run.final_benefit_ratio = engine.BenefitRatio();
   run.events_executed = network.sim().events_executed();
   FillDeliveryCompleteness(run, config, schedule, faults, topology, *field);

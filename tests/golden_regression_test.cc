@@ -130,5 +130,29 @@ TEST(GoldenRegressionTest, FaultPlanRun) {
   CheckGolden("fault_plan_4x4.txt", FingerprintRun(run));
 }
 
+// Scenario 4: dense contention — nonzero collision probability, a lossy
+// link, and WORKLOAD_C's multicast-heavy two-tier traffic on a 5x5 grid.
+// The earlier scenarios run on clean channels, so they never exercise the
+// retry, interference-counting, or link-loss hot paths; this one pins all
+// three (the fingerprint includes retransmission totals and event counts).
+TEST(GoldenRegressionTest, DenseContentionRun) {
+  FaultPlan plan;
+  plan.AddLinkLoss(/*a=*/1, /*b=*/2, /*prob=*/0.25, /*from=*/12288);
+
+  RunConfig config;
+  config.grid_side = 5;
+  config.mode = OptimizationMode::kTwoTier;
+  config.field = FieldKind::kCorrelated;
+  config.channel.collision_prob = 0.08;
+  config.duration_ms = 8 * 12288;
+  config.seed = 11;
+  config.faults = plan;
+  const RunResult run = RunExperiment(config, StaticSchedule(WorkloadC()));
+  // The scenario must actually generate contention, or the golden would
+  // silently pin a clean-channel run.
+  EXPECT_GT(run.summary.retransmissions, 0u);
+  CheckGolden("dense_contention_5x5.txt", FingerprintRun(run));
+}
+
 }  // namespace
 }  // namespace ttmqo

@@ -273,6 +273,48 @@ TEST_F(NetworkTest, SleepTimeIsAccounted) {
   EXPECT_DOUBLE_EQ(network_.ledger().StatsOf(3).sleep_ms, 500.0);
 }
 
+// Sleep spans used to reach the ledger only on wake-up, so a node still
+// asleep when the run ended silently lost its final span and the summary
+// under-reported sleep time.  `FinalizeAccounting` closes open spans at
+// Now(); these tests pin that contract.
+TEST_F(NetworkTest, FinalizeAccountingFlushesOpenSleepSpans) {
+  network_.sim().ScheduleAt(200, [&] { network_.SetAsleep(3, true); });
+  network_.sim().RunUntil(1000);
+  // Still asleep at the end of the run: nothing booked yet.
+  EXPECT_DOUBLE_EQ(network_.ledger().StatsOf(3).sleep_ms, 0.0);
+  network_.FinalizeAccounting();
+  EXPECT_DOUBLE_EQ(network_.ledger().StatsOf(3).sleep_ms, 800.0);
+}
+
+TEST_F(NetworkTest, FinalizeAccountingIsIdempotent) {
+  network_.sim().ScheduleAt(200, [&] { network_.SetAsleep(3, true); });
+  network_.sim().RunUntil(1000);
+  network_.FinalizeAccounting();
+  network_.FinalizeAccounting();
+  EXPECT_DOUBLE_EQ(network_.ledger().StatsOf(3).sleep_ms, 800.0);
+}
+
+TEST_F(NetworkTest, AccountingResumesAfterFinalize) {
+  // The span reopens at the finalize instant, so a later wake-up accounts
+  // only the remainder — no double counting, no lost tail.
+  network_.sim().ScheduleAt(200, [&] { network_.SetAsleep(3, true); });
+  network_.sim().RunUntil(1000);
+  network_.FinalizeAccounting();
+  network_.sim().ScheduleAt(1500, [&] { network_.SetAsleep(3, false); });
+  network_.sim().RunUntil(2000);
+  EXPECT_DOUBLE_EQ(network_.ledger().StatsOf(3).sleep_ms, 1300.0);
+}
+
+TEST_F(NetworkTest, FinalizeAccountingCoversNodesFailedWhileAsleep) {
+  // A crash does not close the sleep span (the radio is gone either way),
+  // so without finalization the span would never be booked.
+  network_.sim().ScheduleAt(100, [&] { network_.SetAsleep(5, true); });
+  network_.sim().ScheduleAt(400, [&] { network_.FailNode(5); });
+  network_.sim().RunUntil(1000);
+  network_.FinalizeAccounting();
+  EXPECT_DOUBLE_EQ(network_.ledger().StatsOf(5).sleep_ms, 900.0);
+}
+
 TEST(NetworkCollisionTest, CollisionsCauseRetransmissions) {
   const Topology t = Topology::Grid(3);
   ChannelParams channel;

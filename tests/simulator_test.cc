@@ -1,0 +1,194 @@
+// Pins the `Simulator` contract the engines and golden runs depend on, so
+// event-queue rewrites (the pooled slab + hand-rolled heap) cannot silently
+// change ordering, boundary, or counting semantics:
+//   - total order: (time, scheduling sequence), FIFO within equal times
+//   - RunUntil boundary: events at exactly `until` run; Now() lands on it
+//   - pending()/events_executed() bookkeeping
+//   - scheduling from inside handlers (including at the current instant)
+//   - move-only and larger-than-inline captures work; hot-path captures
+//     stay inline (allocation-free)
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "net/simulator.h"
+#include "util/rng.h"
+
+namespace ttmqo {
+namespace {
+
+TEST(SimulatorSemanticsTest, EqualTimeEventsInterleavedWithLaterOnes) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(20, [&] { order.push_back(200); });
+  sim.ScheduleAt(10, [&] { order.push_back(100); });
+  sim.ScheduleAt(10, [&] { order.push_back(101); });
+  sim.ScheduleAt(20, [&] { order.push_back(201); });
+  sim.ScheduleAt(10, [&] { order.push_back(102); });
+  sim.RunUntil(30);
+  EXPECT_EQ(order, (std::vector<int>{100, 101, 102, 200, 201}));
+}
+
+TEST(SimulatorSemanticsTest, ManySameTimeEventsKeepSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 1000; ++i) {
+    sim.ScheduleAt(42, [&order, i] { order.push_back(i); });
+  }
+  sim.RunUntil(42);
+  ASSERT_EQ(order.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(SimulatorSemanticsTest, RandomScheduleFiresInStableSortedOrder) {
+  // A randomized schedule with many ties must fire sorted by time and,
+  // within a time, by scheduling order (stable sort of the input).
+  Simulator sim;
+  Rng rng(7);
+  std::vector<std::pair<SimTime, int>> scheduled;
+  std::vector<std::pair<SimTime, int>> fired;
+  for (int i = 0; i < 500; ++i) {
+    const auto t = static_cast<SimTime>(rng.UniformInt(0, 49));
+    scheduled.emplace_back(t, i);
+    sim.ScheduleAt(t, [&fired, t, i] { fired.emplace_back(t, i); });
+  }
+  sim.RunUntil(50);
+  std::stable_sort(
+      scheduled.begin(), scheduled.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  EXPECT_EQ(fired, scheduled);
+}
+
+TEST(SimulatorSemanticsTest, RunUntilBoundaryIsInclusiveAndLandsOnUntil) {
+  Simulator sim;
+  std::vector<SimTime> at;
+  sim.ScheduleAt(5, [&] { at.push_back(sim.Now()); });
+  sim.ScheduleAt(10, [&] { at.push_back(sim.Now()); });
+  sim.ScheduleAt(11, [&] { at.push_back(sim.Now()); });
+  sim.RunUntil(10);
+  // Events at exactly `until` run, later ones wait, Now() == until.
+  EXPECT_EQ(at, (std::vector<SimTime>{5, 10}));
+  EXPECT_EQ(sim.Now(), 10);
+  EXPECT_EQ(sim.pending(), 1u);
+  // An empty RunUntil still advances the clock.
+  sim.RunUntil(10);
+  EXPECT_EQ(sim.Now(), 10);
+  sim.RunUntil(100);
+  EXPECT_EQ(at, (std::vector<SimTime>{5, 10, 11}));
+  EXPECT_EQ(sim.Now(), 100);
+}
+
+TEST(SimulatorSemanticsTest, PendingAndExecutedCounts) {
+  Simulator sim;
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.events_executed(), 0u);
+  for (int i = 0; i < 5; ++i) sim.ScheduleAt(i * 10, [] {});
+  EXPECT_EQ(sim.pending(), 5u);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(sim.pending(), 4u);
+  EXPECT_EQ(sim.events_executed(), 1u);
+  sim.RunUntil(100);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.events_executed(), 5u);
+  EXPECT_FALSE(sim.Step());
+  EXPECT_EQ(sim.events_executed(), 5u);
+}
+
+TEST(SimulatorSemanticsTest, HandlersScheduleAtTheCurrentInstant) {
+  // An event scheduled at Now() from inside a handler fires in the same
+  // RunUntil pass, after every previously scheduled event at that time.
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(5, [&] {
+    order.push_back(0);
+    sim.ScheduleAfter(0, [&] { order.push_back(2); });
+  });
+  sim.ScheduleAt(5, [&] { order.push_back(1); });
+  sim.RunUntil(5);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(sim.events_executed(), 3u);
+}
+
+TEST(SimulatorSemanticsTest, HandlersScheduleBeyondTheBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(5, [&] {
+    ++fired;
+    sim.ScheduleAt(20, [&] { ++fired; });  // beyond `until`: must wait
+  });
+  sim.RunUntil(10);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.RunUntil(20);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorSemanticsTest, DeepReschedulingChainReusesTheSlab) {
+  // A self-rescheduling chain (the beacon/sampler pattern) runs through
+  // pooled slots; the queue never grows beyond the live event count.
+  Simulator sim;
+  int fired = 0;
+  struct Chain {
+    Simulator& sim;
+    int& fired;
+    void Tick() {
+      if (++fired < 1000) sim.ScheduleAfter(1, [this] { Tick(); });
+    }
+  };
+  Chain chain{sim, fired};
+  sim.ScheduleAt(0, [&chain] { chain.Tick(); });
+  sim.RunUntil(2000);
+  EXPECT_EQ(fired, 1000);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(SimulatorSemanticsTest, MoveOnlyCapturesAreSupported) {
+  Simulator sim;
+  auto value = std::make_unique<int>(99);
+  int seen = 0;
+  sim.ScheduleAt(1, [v = std::move(value), &seen] { seen = *v; });
+  sim.RunUntil(1);
+  EXPECT_EQ(seen, 99);
+}
+
+TEST(SimulatorSemanticsTest, LargeCapturesFallBackToTheHeapAndStillFire) {
+  Simulator sim;
+  std::array<std::uint64_t, 64> big{};  // 512 bytes: far beyond inline
+  big[63] = 7;
+  static_assert(!Simulator::EventFn::kFitsInline<decltype([big] {})>);
+  std::uint64_t seen = 0;
+  sim.ScheduleAt(1, [big, &seen] { seen = big[63]; });
+  sim.RunUntil(1);
+  EXPECT_EQ(seen, 7u);
+}
+
+TEST(SimulatorSemanticsTest, SmallCapturesStayInline) {
+  struct Probe {
+    void* a;
+    std::uint64_t b;
+  };
+  static_assert(Simulator::EventFn::kFitsInline<decltype([p = Probe{}] {})>);
+  Simulator::EventFn fn = [] {};
+  EXPECT_TRUE(fn.is_inline());
+}
+
+TEST(SimulatorSemanticsTest, SchedulingInThePastStillThrows) {
+  Simulator sim;
+  sim.ScheduleAt(10, [] {});
+  sim.RunUntil(10);
+  EXPECT_THROW(sim.ScheduleAt(9, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.ScheduleAfter(-1, [] {}), std::invalid_argument);
+  // Scheduling at exactly Now() stays legal.
+  sim.ScheduleAt(10, [] {});
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+}  // namespace
+}  // namespace ttmqo
