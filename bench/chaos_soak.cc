@@ -17,7 +17,12 @@
 //
 // Usage: chaos_soak [--side=6] [--seed=7] [--runs=3] [--epochs=24]
 //                   [--outages=6] [--down-frac=0.2] [--link-loss=0.0]
-//                   [--floor=0.5]
+//                   [--floor=0.5] [--postmortem-dir=DIR]
+//
+// With --postmortem-dir the flight recorder is armed; every violated
+// invariant (and any fatal signal) dumps the last simulator events, fault
+// transitions, and engine decisions to a postmortem JSON in DIR — the
+// artifact CI attaches when the soak gate fails.
 #include <cstdio>
 #include <iostream>
 #include <map>
@@ -25,6 +30,8 @@
 
 #include "metrics/table.h"
 #include "metrics/trace.h"
+#include "obs/flight_recorder.h"
+#include "obs/session.h"
 #include "query/parser.h"
 #include "util/flags.h"
 #include "workload/runner.h"
@@ -62,6 +69,7 @@ int Main(int argc, char** argv) {
   params.max_down_fraction = flags.GetDouble("down-frac", 0.2);
   params.link_loss = flags.GetDouble("link-loss", 0.0);
   const double floor = flags.GetDouble("floor", 0.5);
+  obs::ObsSession obs_session(obs::ObsSession::FromFlags(flags));
   if (ReportUnreadFlags(flags)) return 2;
 
   const SimDuration duration = epochs * kEpoch;
@@ -81,6 +89,13 @@ int Main(int argc, char** argv) {
   const auto violate = [&violations](const char* what, std::uint64_t seed) {
     std::fprintf(stderr, "INVARIANT VIOLATED (seed %llu): %s\n",
                  static_cast<unsigned long long>(seed), what);
+    // With --postmortem-dir set, preserve the events leading up to the
+    // violation (the simulator is torn down before we get here, so the
+    // thread ring still holds this run's tail).
+    const std::string dump = obs::DumpPostmortem(what);
+    if (!dump.empty()) {
+      std::fprintf(stderr, "postmortem written to %s\n", dump.c_str());
+    }
     ++violations;
   };
 

@@ -34,6 +34,7 @@
 #include "metrics/registry.h"
 #include "metrics/table.h"
 #include "metrics/trace.h"
+#include "obs/session.h"
 #include "sweep/sweep.h"
 #include "util/flags.h"
 #include "workload/runner.h"
@@ -50,6 +51,7 @@ int Main(int argc, char** argv) {
   auto jobs = static_cast<unsigned>(flags.GetInt("jobs", 0));
   const auto metrics_out = flags.GetOptional("metrics-out");
   const auto trace_out = flags.GetOptional("trace-out");
+  obs::ObsSession obs_session(obs::ObsSession::FromFlags(flags));
   if (ReportUnreadFlags(flags)) return 2;
 
   MetricsRegistry registry;

@@ -37,6 +37,7 @@
 #include "core/bs/rewriter.h"
 #include "metrics/table.h"
 #include "metrics/trace.h"
+#include "obs/session.h"
 #include "query/engine.h"
 #include "net/topology.h"
 #include "sweep/sweep.h"
@@ -154,6 +155,7 @@ int Main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 17));
   const auto jobs = static_cast<unsigned>(flags.GetInt("jobs", 0));
   const auto trace_out = flags.GetOptional("trace-out");
+  obs::ObsSession obs_session(obs::ObsSession::FromFlags(flags));
   if (ReportUnreadFlags(flags)) return 2;
 
   std::ofstream trace_file;

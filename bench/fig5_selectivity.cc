@@ -21,6 +21,7 @@
 #include <iostream>
 
 #include "metrics/table.h"
+#include "obs/session.h"
 #include "util/flags.h"
 #include "workload/runner.h"
 
@@ -65,6 +66,7 @@ int Main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 5));
   const auto side = static_cast<std::size_t>(flags.GetInt("side", 4));
   const double collisions = flags.GetDouble("collisions", 0.03);
+  obs::ObsSession obs_session(obs::ObsSession::FromFlags(flags));
   if (ReportUnreadFlags(flags)) return 2;
 
   std::printf("Figure 5: transmission-time savings vs predicate selectivity "

@@ -34,12 +34,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iostream>
 #include <new>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "net/network.h"
+#include "obs/build_info.h"
+#include "obs/session.h"
 #include "sweep/spec.h"
 #include "util/flags.h"
 
@@ -225,7 +228,10 @@ int Main(int argc, char** argv) {
       flags.GetInt("dense-ms", 60'000));
   const auto probe_ms = static_cast<SimDuration>(
       flags.GetInt("probe-ms", 60'000));
+  obs::ObsSession obs_session(obs::ObsSession::FromFlags(flags));
   if (ReportUnreadFlags(flags)) return 2;
+
+  obs::WarnIfSingleCore(std::cerr);
 
   const SweepSpec spec = SweepSpec::Parse(LoadSpecText(spec_arg));
   const SweepResult sweep = RunSweepPart(spec);
@@ -242,6 +248,9 @@ int Main(int argc, char** argv) {
   out << "{\n";
   out << "  \"bench\": \"hotpath\",\n";
   out << "  \"spec\": \"" << spec.ToString() << "\",\n";
+  out << "  \"build\": ";
+  obs::WriteBuildInfoJson(out);
+  out << ",\n";
   std::snprintf(buf, sizeof(buf), "  \"baseline_events_per_sec\": %.0f,\n",
                 baseline);
   out << buf;

@@ -14,6 +14,7 @@
 #include <iostream>
 
 #include "metrics/table.h"
+#include "obs/session.h"
 #include "sweep/sweep.h"
 #include "util/flags.h"
 #include "workload/runner.h"
@@ -31,6 +32,7 @@ int Main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 77));
   const double collisions = flags.GetDouble("collisions", 0.02);
   const auto jobs = static_cast<unsigned>(flags.GetInt("jobs", 0));
+  obs::ObsSession obs_session(obs::ObsSession::FromFlags(flags));
   if (ReportUnreadFlags(flags)) return 2;
 
   std::printf("Scalability of TTMQO savings (WORKLOAD_C, collisions=%.3f, "

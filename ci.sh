@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Local CI: build and test the plain configuration, then again with
-# AddressSanitizer + UBSan.  Usage: ./ci.sh [extra ctest args...]
+# AddressSanitizer + UBSan, then the chaos soak (with postmortem artifacts),
+# the Release perf smoke + observability-overhead gate, and a report-only
+# ThreadSanitizer pass.  Usage: ./ci.sh [extra ctest args...]
 #
 # Tests run tier by tier — unit first, then integration, then soak — each
 # under its own timeout, so a broken unit test fails the build before the
@@ -62,9 +64,22 @@ run_config build-asan -DENABLE_SANITIZERS=ON
 # Chaos soak under the sanitizers: random transient outages plus link loss,
 # three seeds each; the binary exits non-zero on any reliability-invariant
 # violation (duplicate rows, missed recovery, completeness below the floor).
+# The flight recorder is armed: a violated invariant (or a crash) dumps the
+# last simulator events to ci-artifacts/postmortem/, kept as the failure
+# artifact.
 echo "=== chaos soak (sanitized) ==="
-./build-asan/bench/chaos_soak --runs=3 --seed=1
-./build-asan/bench/chaos_soak --runs=3 --seed=1 --link-loss=0.1 --floor=0.4
+POSTMORTEM_DIR="ci-artifacts/postmortem"
+rm -rf "${POSTMORTEM_DIR}"
+soak_failed=0
+./build-asan/bench/chaos_soak --runs=3 --seed=1 \
+  --postmortem-dir="${POSTMORTEM_DIR}" || soak_failed=1
+./build-asan/bench/chaos_soak --runs=3 --seed=1 --link-loss=0.1 --floor=0.4 \
+  --postmortem-dir="${POSTMORTEM_DIR}" || soak_failed=1
+if [ "${soak_failed}" -ne 0 ]; then
+  echo "chaos soak FAILED — postmortem dumps preserved in ${POSTMORTEM_DIR}:"
+  ls -l "${POSTMORTEM_DIR}" 2>/dev/null || true
+  exit 1
+fi
 
 # The sweep orchestrator's cross-thread determinism check: the same spec
 # at jobs=1 and jobs=hardware must produce byte-identical canonical
@@ -86,5 +101,35 @@ cmake --build build-release -j "${JOBS}" --target hotpath
   --spec="grids=4,6 workloads=C modes=baseline,ttmqo seeds=1 duration-ms=49152 collisions=0.02" \
   --dense-ms=5000 --probe-ms=5000 --out=/tmp/ttmqo_hotpath_ci.json ||
   echo "perf smoke reported a problem (non-gating)"
+
+# Observability overhead gate (Release, GATING): the always-on spans must
+# cost at most 3% on the event-loop hot path against the same loop with
+# spans runtime-disabled.  The nospans variant (TTMQO_DISABLE_SPANS in its
+# translation unit) runs report-only and proves the macros compile to
+# nothing.
+echo "=== obs overhead (Release, gating at 3%) ==="
+cmake --build build-release -j "${JOBS}" --target obs_overhead obs_overhead_nospans
+./build-release/bench/obs_overhead --max-overhead=3 \
+  --window-ms=10000 --reps=3 --out=/tmp/ttmqo_obs_ci.json
+./build-release/bench/obs_overhead_nospans \
+  --window-ms=5000 --reps=2 --span-iters=500000 \
+  --out=/tmp/ttmqo_obs_nospans_ci.json ||
+  echo "nospans overhead run reported a problem (non-gating)"
+
+# ThreadSanitizer, report-only: the parallel sweep pool and the shared
+# CostModel counters (atomic since the parallel fig4) are the only
+# cross-thread surfaces; build just their drivers and let TSan watch them.
+# Report-only because TSan availability varies across toolchains/kernels.
+echo "=== thread sanitizer (report-only) ==="
+if cmake -B build-tsan -S . -DENABLE_TSAN=ON >/dev/null 2>&1 &&
+   cmake --build build-tsan -j "${JOBS}" \
+     --target sweep_determinism_test fig4_adaptive 2>&1 | tail -1; then
+  ./build-tsan/tests/sweep_determinism_test ||
+    echo "TSan: sweep_determinism_test reported races (non-gating)"
+  ./build-tsan/bench/fig4_adaptive --part=a --queries=120 --jobs=4 ||
+    echo "TSan: fig4_adaptive reported races (non-gating)"
+else
+  echo "TSan build unavailable on this toolchain (skipped)"
+fi
 
 echo "=== all configurations passed ==="

@@ -21,6 +21,12 @@
 //   --trace-out=t.jsonl    radio events + tier-1/tier-2 decision events as
 //                          JSON Lines
 //   --epoch-csv=e.csv      the per-epoch time series as CSV
+//   --trace-chrome=t.json  profiling spans (parse / tier-1 / dissemination /
+//                          event loop / summarize and the sampled hot paths)
+//                          as Chrome trace-event JSON for Perfetto
+//   --postmortem-dir=DIR   arm the flight recorder: invariant failures and
+//                          fatal signals dump the last simulator events to
+//                          a postmortem JSON file in DIR
 // With --compare, registry metrics are labeled mode="..." per run and the
 // trace contains all four runs bracketed by run.start/run.end; the epoch
 // series covers the final (ttmqo) run.
@@ -35,6 +41,8 @@
 #include "metrics/registry.h"
 #include "metrics/table.h"
 #include "metrics/trace.h"
+#include "obs/session.h"
+#include "obs/span.h"
 #include "util/flags.h"
 #include "workload/runner.h"
 #include "workload/static_workloads.h"
@@ -129,28 +137,32 @@ int main(int argc, char** argv) {
     const double link_loss = flags.GetDouble("link-loss", 0.0);
     if (link_loss > 0.0) config.faults.SetDefaultLinkLoss(link_loss);
 
-    std::vector<WorkloadEvent> schedule;
-    if (workload == "random") {
-      QueryModelParams params;
-      params.predicate_selectivity = 1.0;
-      params.randomize_selectivity = true;
-      RandomQueryModel model(params, config.seed ^ 0xabcULL);
-      const auto queries =
-          static_cast<std::size_t>(flags.GetInt("queries", 40));
-      const double concurrency = flags.GetDouble("concurrency", 8.0);
-      schedule = DynamicSchedule(model, queries, 40'000.0,
-                                 concurrency * 40'000.0, config.seed);
-      SimTime end = 0;
-      for (const auto& event : schedule) end = std::max(end, event.time);
-      config.duration_ms = std::max(config.duration_ms, end + 4 * 24576);
-    } else {
-      schedule = StaticSchedule(WorkloadByName(workload));
-    }
-
     const auto metrics_out = flags.GetOptional("metrics-out");
     const auto prom_out = flags.GetOptional("prom-out");
     const auto trace_out = flags.GetOptional("trace-out");
     const auto epoch_csv = flags.GetOptional("epoch-csv");
+    obs::ObsSession obs_session(obs::ObsSession::FromFlags(flags));
+
+    std::vector<WorkloadEvent> schedule;
+    {
+      TTMQO_PHASE_SPAN("phase.parse");
+      if (workload == "random") {
+        QueryModelParams params;
+        params.predicate_selectivity = 1.0;
+        params.randomize_selectivity = true;
+        RandomQueryModel model(params, config.seed ^ 0xabcULL);
+        const auto queries =
+            static_cast<std::size_t>(flags.GetInt("queries", 40));
+        const double concurrency = flags.GetDouble("concurrency", 8.0);
+        schedule = DynamicSchedule(model, queries, 40'000.0,
+                                   concurrency * 40'000.0, config.seed);
+        SimTime end = 0;
+        for (const auto& event : schedule) end = std::max(end, event.time);
+        config.duration_ms = std::max(config.duration_ms, end + 4 * 24576);
+      } else {
+        schedule = StaticSchedule(WorkloadByName(workload));
+      }
+    }
 
     if (ReportUnreadFlags(flags)) return 2;
 

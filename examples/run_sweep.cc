@@ -22,6 +22,10 @@
 //                        the two reports agree byte-for-byte, and write a
 //                        BENCH_*.json perf artifact (wall clock, runs/sec,
 //                        events/sec, speedup)
+//   --trace-chrome=p.json  profiling spans of the whole sweep as Chrome
+//                        trace-event JSON (one track per worker thread)
+//   --postmortem-dir=DIR arm the flight recorder; a task's invariant
+//                        failure or a fatal signal dumps a postmortem
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -29,6 +33,8 @@
 #include <sstream>
 
 #include "metrics/table.h"
+#include "obs/build_info.h"
+#include "obs/session.h"
 #include "sweep/spec.h"
 #include "util/flags.h"
 
@@ -74,6 +80,22 @@ void PrintSummary(const SweepReport& report) {
               static_cast<double>(report.TotalEvents()) * 1000.0 /
                   report.wall_ms,
               report.jobs);
+  if (!report.pool.workers.empty()) {
+    std::printf("pool utilization %.0f%%:", report.pool.Utilization() * 100);
+    for (const WorkerStat& w : report.pool.workers) {
+      std::printf(" w%u=%llu tasks/%.0f ms", w.worker,
+                  static_cast<unsigned long long>(w.tasks), w.busy_ms);
+    }
+    std::printf("\n");
+  }
+  const std::vector<std::size_t> stragglers = report.Stragglers();
+  if (!stragglers.empty()) {
+    std::printf("stragglers (> 3x median wall time):");
+    for (const std::size_t index : stragglers) {
+      std::printf(" #%zu (%.0f ms)", index, report.rows[index].wall_ms);
+    }
+    std::printf("\n");
+  }
 }
 
 int WriteBenchArtifact(const SweepSpec& spec, unsigned jobs,
@@ -83,6 +105,7 @@ int WriteBenchArtifact(const SweepSpec& spec, unsigned jobs,
   // speedup is expected there, but the determinism check must be real).
   const unsigned parallel_jobs =
       jobs == 0 ? std::max(2u, HardwareJobs()) : jobs;
+  obs::WarnIfSingleCore(std::cerr);
   std::printf("bench: running %zu tasks at jobs=1...\n", spec.TaskCount());
   const SweepReport serial = RunSweep(spec, 1);
   std::printf("bench: running %zu tasks at jobs=%u...\n", spec.TaskCount(),
@@ -111,6 +134,9 @@ int WriteBenchArtifact(const SweepSpec& spec, unsigned jobs,
   out << "  \"spec\": \"" << spec.ToString() << "\",\n";
   out << "  \"tasks\": " << serial.rows.size() << ",\n";
   out << "  \"hardware_concurrency\": " << HardwareJobs() << ",\n";
+  out << "  \"build\": ";
+  obs::WriteBuildInfoJson(out);
+  out << ",\n";
   out << "  \"events_executed\": " << serial.TotalEvents() << ",\n";
   char buf[256];
   std::snprintf(buf, sizeof(buf),
@@ -158,6 +184,7 @@ int Main(int argc, char** argv) {
   const auto metrics_path = flags.GetOptional("metrics-out");
   const bool no_timing = flags.GetBool("no-timing", false);
   const auto bench_out = flags.GetOptional("bench-out");
+  obs::ObsSession obs_session(obs::ObsSession::FromFlags(flags));
   if (ReportUnreadFlags(flags)) return 2;
 
   const SweepSpec spec = SweepSpec::Parse(LoadSpecText(spec_arg));

@@ -13,6 +13,7 @@
 // only relative values matter for rewriting decisions.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "net/radio.h"
@@ -54,18 +55,25 @@ class CostModel {
 
   /// Number of Eq. 3 evaluations since construction (observability: the
   /// rewriter's work is proportional to these).
-  std::uint64_t cost_evaluations() const { return cost_evaluations_; }
+  std::uint64_t cost_evaluations() const {
+    return cost_evaluations_.load(std::memory_order_relaxed);
+  }
 
   /// Number of benefit evaluations (one per candidate merge considered).
-  std::uint64_t benefit_evaluations() const { return benefit_evaluations_; }
+  std::uint64_t benefit_evaluations() const {
+    return benefit_evaluations_.load(std::memory_order_relaxed);
+  }
 
  private:
   const Topology* topology_;
   RadioParams radio_;
   const SelectivityEstimator* selectivity_;
   double num_sensors_;  // |N| excluding the base station
-  mutable std::uint64_t cost_evaluations_ = 0;
-  mutable std::uint64_t benefit_evaluations_ = 0;
+  // Atomic so a model shared across replay tasks (bench/fig4_adaptive runs
+  // them under ParallelFor) counts race-free; relaxed is enough for
+  // monotonic counters.
+  mutable std::atomic<std::uint64_t> cost_evaluations_{0};
+  mutable std::atomic<std::uint64_t> benefit_evaluations_{0};
 };
 
 }  // namespace ttmqo

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/span.h"
 #include "util/check.h"
 
 namespace ttmqo {
@@ -134,6 +135,7 @@ void BaseStationOptimizer::InsertBundle(const Query& net_query,
 
 BaseStationOptimizer::Actions BaseStationOptimizer::InsertUserQuery(
     const Query& query) {
+  TTMQO_SPAN("tier1.insert");
   CheckArg(query.id() < options_.first_synthetic_id,
            "InsertUserQuery: user id collides with the synthetic id space");
   CheckArg(!user_to_synthetic_.contains(query.id()),
@@ -148,6 +150,7 @@ BaseStationOptimizer::Actions BaseStationOptimizer::InsertUserQuery(
 
 BaseStationOptimizer::Actions BaseStationOptimizer::TerminateUserQuery(
     QueryId user) {
+  TTMQO_SPAN("tier1.terminate");
   const auto user_it = user_to_synthetic_.find(user);
   CheckArg(user_it != user_to_synthetic_.end(),
            "TerminateUserQuery: unknown user query");

@@ -1,5 +1,7 @@
 #include "core/ttmqo_engine.h"
 
+#include "obs/flight_recorder.h"
+#include "obs/span.h"
 #include "util/check.h"
 #include "util/mathx.h"
 
@@ -61,6 +63,8 @@ void TtmqoEngine::SetTraceSink(TraceSink* sink) {
 }
 
 void TtmqoEngine::SubmitQuery(const Query& query) {
+  obs::RecordFlight("engine.submit", network_.sim().Now(),
+                    static_cast<std::int64_t>(query.id()));
   CheckArg(!users_.contains(query.id()), "TtmqoEngine: duplicate user query");
   UserState state(query);
   state.submitted_at = network_.sim().Now();
@@ -89,6 +93,8 @@ void TtmqoEngine::SubmitQuery(const Query& query) {
 }
 
 void TtmqoEngine::TerminateQuery(QueryId id) {
+  obs::RecordFlight("engine.terminate", network_.sim().Now(),
+                    static_cast<std::int64_t>(id));
   const auto it = users_.find(id);
   CheckArg(it != users_.end(), "TtmqoEngine: terminating unknown user query");
   users_.erase(it);
@@ -107,6 +113,9 @@ void TtmqoEngine::TerminateQuery(QueryId id) {
 }
 
 void TtmqoEngine::ApplyActions(const BaseStationOptimizer::Actions& actions) {
+  // Dissemination: retiring superseded synthetic queries from the network
+  // and flooding their replacements.
+  TTMQO_SPAN("tier2.disseminate");
   // Abort superseded synthetic queries before injecting replacements so the
   // channel is never loaded with both.
   const bool tracing = trace_.downstream() != nullptr;

@@ -19,6 +19,31 @@ void AtomicAdd(std::atomic<double>& target, double delta) {
   }
 }
 
+// Prometheus exposition label-value escaping: exactly `\\`, `\"`, and
+// `\n` — the only escape sequences the format defines.  JsonEscape would
+// also emit `\t` and `\uXXXX`, which Prometheus parsers reject; any other
+// byte is legal raw inside a quoted label value.  The instrument key
+// doubles as the exposition sample line, so it must use this escaping;
+// WriteJson re-escapes the key with WriteJsonString, which keeps the JSON
+// document valid regardless.
+void PrometheusLabelEscape(std::string_view raw, std::string& out) {
+  for (const char c : raw) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+}
+
 // Prometheus-safe rendering of a sample value.
 void WriteNumber(std::ostream& out, double value) {
   if (!std::isfinite(value)) {
@@ -88,7 +113,7 @@ std::string MetricsRegistry::InstrumentKey(const std::string& name,
     if (i > 0) key += ',';
     key += sorted[i].first;
     key += "=\"";
-    JsonEscape(sorted[i].second, key);
+    PrometheusLabelEscape(sorted[i].second, key);
     key += '"';
   }
   key += '}';

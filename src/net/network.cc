@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/flight_recorder.h"
+#include "obs/span.h"
+
 namespace ttmqo {
 
 Network::Network(const Topology& topology, RadioParams radio,
@@ -55,6 +58,7 @@ void Network::FailNode(NodeId node) {
   }
   failed_[node] = true;
   ++num_failed_;
+  obs::RecordFlight("fault.crash", sim_.Now(), node);
   if (!observers_.empty()) observers_.OnNodeFailed(sim_.Now(), node);
 }
 
@@ -68,6 +72,7 @@ void Network::SetDown(NodeId node) {
   down_[node] = true;
   down_since_[node] = sim_.Now();
   ++num_down_;
+  obs::RecordFlight("fault.down", sim_.Now(), node);
   if (!observers_.empty()) observers_.OnNodeDown(sim_.Now(), node);
 }
 
@@ -76,6 +81,8 @@ void Network::Recover(NodeId node) {
   if (failed_[node] || !down_[node]) return;
   down_[node] = false;
   --num_down_;
+  obs::RecordFlight("fault.recover", sim_.Now(), node,
+                    sim_.Now() - down_since_[node]);
   if (!observers_.empty()) {
     observers_.OnNodeRecovered(sim_.Now(), node,
                                sim_.Now() - down_since_[node]);
@@ -193,6 +200,7 @@ void Network::BeginAttempt(Message msg, int attempt) {
 }
 
 void Network::CompleteAttempt(Message msg, int attempt, SimTime started) {
+  TTMQO_SPAN_SAMPLED("net.complete_attempt", 8);
   // Retire this flight record (even for a sender that went dark mid-air, so
   // stale flights never linger in the interference count).
   RemoveFlight(msg.sender, sim_.Now());
@@ -252,6 +260,7 @@ std::size_t Network::CountInterferers(NodeId sender, SimTime started) const {
 }
 
 void Network::Deliver(const Message& msg) {
+  TTMQO_SPAN_SAMPLED("net.deliver", 8);
   // Hot-path short circuits, hoisted out of the per-neighbor loop: skip
   // the loss lookup entirely on lossless deployments (no per-link override,
   // zero default — the common case), and pick the destination-membership

@@ -3,7 +3,17 @@
 #include <limits>
 #include <utility>
 
+#include "obs/flight_recorder.h"
+#include "obs/span.h"
+
 namespace ttmqo {
+
+Simulator::~Simulator() {
+  // Drop this thread's flight records: a postmortem from the *next*
+  // in-process run (e.g. the following sweep task) must not show this
+  // run's tail as if it led up to the failure.
+  obs::ClearThreadFlightRing();
+}
 
 void Simulator::ScheduleAt(SimTime t, EventFn fn) {
   CheckArg(t >= now_, "Simulator::ScheduleAt: cannot schedule in the past");
@@ -48,6 +58,10 @@ bool Simulator::Step() {
   free_slots_.push_back(event.slot);
   now_ = event.time;
   ++events_executed_;
+  obs::RecordFlight("sim.event", event.time,
+                    static_cast<std::int64_t>(event.seq),
+                    static_cast<std::int64_t>(event.slot));
+  TTMQO_SPAN_SAMPLED("sim.event", 8);
   fn();
   return true;
 }

@@ -34,6 +34,7 @@ class Simulator {
   using EventFn = InlineCallable<104>;
 
   Simulator() = default;
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 

@@ -1,0 +1,332 @@
+#include "obs/flight_recorder.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+#include "util/check.h"
+
+namespace ttmqo::obs {
+
+namespace flight_internal {
+std::atomic<bool> g_armed{false};
+}  // namespace flight_internal
+
+namespace {
+
+constexpr std::size_t kRingCapacity = 256;  // power of two, per thread
+constexpr std::size_t kMaxRings = 256;
+
+/// One thread's ring.  Single writer; the dump path reads racily (a torn
+/// record in a crash dump is acceptable).
+struct FlightRing {
+  std::array<FlightEntry, kRingCapacity> ring;
+  std::atomic<std::uint64_t> next{0};
+  std::uint32_t tid = 0;
+
+  void Clear() { next.store(0, std::memory_order_relaxed); }
+};
+
+/// Fixed table the signal handler can walk without locking: `count` only
+/// grows, and each slot is written (released) before `count` admits it.
+std::atomic<FlightRing*> g_rings[kMaxRings];
+std::atomic<std::size_t> g_ring_count{0};
+std::atomic<std::uint64_t> g_seq{0};
+std::atomic<std::uint64_t> g_dump_counter{0};
+
+/// Dump directory, fixed storage so the signal handler can read it.
+char g_dump_dir[512] = {};
+std::atomic<bool> g_dump_dir_set{false};
+
+std::mutex g_register_mu;
+std::vector<FlightRing*> g_free_rings;
+std::uint32_t g_next_tid = 0;
+
+FlightRing* ClaimRing() {
+  std::lock_guard<std::mutex> lock(g_register_mu);
+  FlightRing* ring;
+  if (!g_free_rings.empty()) {
+    ring = g_free_rings.back();
+    g_free_rings.pop_back();
+    ring->Clear();
+  } else {
+    const std::size_t slot = g_ring_count.load(std::memory_order_relaxed);
+    if (slot >= kMaxRings) return nullptr;  // beyond capacity: drop records
+    ring = new FlightRing();  // reachable from g_rings forever: no leak
+    g_rings[slot].store(ring, std::memory_order_release);
+    g_ring_count.store(slot + 1, std::memory_order_release);
+  }
+  ring->tid = g_next_tid++;
+  return ring;
+}
+
+void ReleaseRing(FlightRing* ring) {
+  if (ring == nullptr) return;
+  std::lock_guard<std::mutex> lock(g_register_mu);
+  g_free_rings.push_back(ring);
+}
+
+struct ThreadRingHandle {
+  FlightRing* ring = ClaimRing();
+  ~ThreadRingHandle() { ReleaseRing(ring); }
+};
+
+FlightRing* CurrentRing() {
+  static thread_local ThreadRingHandle handle;
+  return handle.ring;
+}
+
+void CopyTruncated(char* dst, std::size_t cap, const char* src) {
+  if (src == nullptr) {
+    dst[0] = '\0';
+    return;
+  }
+  std::size_t i = 0;
+  for (; i + 1 < cap && src[i] != '\0'; ++i) dst[i] = src[i];
+  dst[i] = '\0';
+}
+
+// ---------------------------------------------------------------------------
+// Async-signal-safe dump machinery: fd + snprintf into a stack buffer only.
+
+void WriteAll(int fd, const char* data, std::size_t len) {
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::write(fd, data + done, len - done);
+    if (n <= 0) return;
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+/// Appends `src` JSON-escaped (the record strings are short ASCII; anything
+/// below 0x20 is replaced, which is enough for valid JSON).
+std::size_t AppendEscaped(char* out, std::size_t cap, const char* src) {
+  std::size_t n = 0;
+  for (std::size_t i = 0; src[i] != '\0' && n + 2 < cap; ++i) {
+    const char ch = src[i];
+    if (ch == '"' || ch == '\\') {
+      out[n++] = '\\';
+      out[n++] = ch;
+    } else if (static_cast<unsigned char>(ch) < 0x20) {
+      out[n++] = '?';
+    } else {
+      out[n++] = ch;
+    }
+  }
+  out[n] = '\0';
+  return n;
+}
+
+void WriteEntryJson(int fd, const FlightEntry& entry, bool first) {
+  char kind[2 * FlightEntry::kKindLen];
+  char detail[2 * FlightEntry::kDetailLen];
+  AppendEscaped(kind, sizeof(kind), entry.kind);
+  AppendEscaped(detail, sizeof(detail), entry.detail);
+  char line[512];
+  const int n = snprintf(
+      line, sizeof(line),
+      "%s    {\"seq\": %llu, \"kind\": \"%s\", \"t\": %lld, \"a\": %lld, "
+      "\"b\": %lld, \"c\": %lld, \"tid\": %u%s%s%s}",
+      first ? "" : ",\n",
+      static_cast<unsigned long long>(entry.seq), kind,
+      static_cast<long long>(entry.sim_time), static_cast<long long>(entry.a),
+      static_cast<long long>(entry.b), static_cast<long long>(entry.c),
+      entry.tid, detail[0] != '\0' ? ", \"detail\": \"" : "",
+      detail, detail[0] != '\0' ? "\"" : "");
+  if (n > 0) WriteAll(fd, line, std::min(sizeof(line) - 1, std::size_t(n)));
+}
+
+/// The allocation-free dump core.  Returns the fd-written path length, or 0
+/// on failure.  `path_out` must hold at least 768 bytes.
+std::size_t DumpCore(const char* reason, char* path_out,
+                     std::size_t path_cap) {
+  if (!g_dump_dir_set.load(std::memory_order_acquire)) return 0;
+  // Sanitize the reason into a filename fragment.
+  char safe[48];
+  std::size_t s = 0;
+  for (std::size_t i = 0; reason != nullptr && reason[i] != '\0' &&
+                          s + 1 < sizeof(safe) && i < 40; ++i) {
+    const char ch = reason[i];
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '_' || ch == '-' ||
+                    ch == '.';
+    safe[s++] = ok ? ch : '_';
+  }
+  safe[s] = '\0';
+  const std::uint64_t id =
+      g_dump_counter.fetch_add(1, std::memory_order_relaxed);
+  const int pn =
+      snprintf(path_out, path_cap, "%s/postmortem_%llu_%s.json", g_dump_dir,
+               static_cast<unsigned long long>(id), safe);
+  if (pn <= 0 || static_cast<std::size_t>(pn) >= path_cap) return 0;
+  const int fd = ::open(path_out, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return 0;
+
+  char head[256];
+  char reason_escaped[128];
+  AppendEscaped(reason_escaped, sizeof(reason_escaped),
+                reason != nullptr ? reason : "unknown");
+  const int hn = snprintf(head, sizeof(head),
+                          "{\n  \"reason\": \"%s\",\n  \"pid\": %d,\n"
+                          "  \"records\": [\n",
+                          reason_escaped, static_cast<int>(::getpid()));
+  if (hn > 0) WriteAll(fd, head, static_cast<std::size_t>(hn));
+
+  bool first = true;
+  const std::size_t rings = g_ring_count.load(std::memory_order_acquire);
+  for (std::size_t r = 0; r < rings; ++r) {
+    const FlightRing* ring = g_rings[r].load(std::memory_order_acquire);
+    if (ring == nullptr) continue;
+    const std::uint64_t next = ring->next.load(std::memory_order_acquire);
+    const std::uint64_t kept = std::min<std::uint64_t>(next, kRingCapacity);
+    for (std::uint64_t i = next - kept; i < next; ++i) {
+      WriteEntryJson(fd, ring->ring[i & (kRingCapacity - 1)], first);
+      first = false;
+    }
+  }
+  static const char kTail[] = "\n  ]\n}\n";
+  WriteAll(fd, kTail, sizeof(kTail) - 1);
+  ::close(fd);
+  return static_cast<std::size_t>(pn);
+}
+
+// ---------------------------------------------------------------------------
+// Postmortem triggers.
+
+void OnCheckFailure(const char* message) { DumpPostmortem(message); }
+
+constexpr int kFatalSignals[] = {SIGSEGV, SIGABRT, SIGBUS, SIGFPE};
+struct sigaction g_old_actions[4];
+std::atomic<bool> g_handlers_installed{false};
+
+void FatalSignalHandler(int signo) {
+  char path[768];
+  char reason[32];
+  snprintf(reason, sizeof(reason), "signal_%d", signo);
+  DumpCore(reason, path, sizeof(path));
+  if (path[0] != '\0') {
+    static const char kMsg[] = "flight recorder: postmortem written to ";
+    WriteAll(STDERR_FILENO, kMsg, sizeof(kMsg) - 1);
+    WriteAll(STDERR_FILENO, path, strnlen(path, sizeof(path)));
+    WriteAll(STDERR_FILENO, "\n", 1);
+  }
+  // Restore the default action and re-raise so the process still dies with
+  // the original signal (core dump, nonzero wait status).
+  signal(signo, SIG_DFL);
+  raise(signo);
+}
+
+void InstallSignalHandlers() {
+  bool expected = false;
+  if (!g_handlers_installed.compare_exchange_strong(expected, true)) return;
+  struct sigaction action;
+  memset(&action, 0, sizeof(action));
+  action.sa_handler = &FatalSignalHandler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = static_cast<int>(SA_RESETHAND);
+  for (std::size_t i = 0; i < 4; ++i) {
+    sigaction(kFatalSignals[i], &action, &g_old_actions[i]);
+  }
+}
+
+void RemoveSignalHandlers() {
+  bool expected = true;
+  if (!g_handlers_installed.compare_exchange_strong(expected, false)) return;
+  for (std::size_t i = 0; i < 4; ++i) {
+    sigaction(kFatalSignals[i], &g_old_actions[i], nullptr);
+  }
+}
+
+}  // namespace
+
+namespace flight_internal {
+
+void RecordSlow(const char* kind, std::int64_t sim_time, std::int64_t a,
+                std::int64_t b, std::int64_t c, const char* detail) {
+  FlightRing* ring = CurrentRing();
+  if (ring == nullptr) return;
+  const std::uint64_t next = ring->next.load(std::memory_order_relaxed);
+  FlightEntry& entry = ring->ring[next & (kRingCapacity - 1)];
+  entry.seq = g_seq.fetch_add(1, std::memory_order_relaxed);
+  entry.sim_time = sim_time;
+  entry.a = a;
+  entry.b = b;
+  entry.c = c;
+  entry.tid = ring->tid;
+  CopyTruncated(entry.kind, FlightEntry::kKindLen, kind);
+  CopyTruncated(entry.detail, FlightEntry::kDetailLen, detail);
+  ring->next.store(next + 1, std::memory_order_release);
+}
+
+}  // namespace flight_internal
+
+void ArmFlightRecorder() {
+  flight_internal::g_armed.store(true, std::memory_order_relaxed);
+}
+
+void DisarmFlightRecorder() {
+  flight_internal::g_armed.store(false, std::memory_order_relaxed);
+  SetCheckFailureHook(nullptr);
+  RemoveSignalHandlers();
+}
+
+void ArmPostmortem(const std::string& dir) {
+  CheckArg(!dir.empty() && dir.size() < sizeof(g_dump_dir),
+           "ArmPostmortem: bad dump directory");
+  ::mkdir(dir.c_str(), 0755);  // best-effort; open() reports real failures
+  CopyTruncated(g_dump_dir, sizeof(g_dump_dir), dir.c_str());
+  g_dump_dir_set.store(true, std::memory_order_release);
+  ArmFlightRecorder();
+  SetCheckFailureHook(&OnCheckFailure);
+  InstallSignalHandlers();
+}
+
+std::string DumpPostmortem(const char* reason) {
+  char path[768];
+  path[0] = '\0';
+  const std::size_t n = DumpCore(reason, path, sizeof(path));
+  return n > 0 ? std::string(path, n) : std::string();
+}
+
+void ClearThreadFlightRing() {
+  FlightRing* ring = CurrentRing();
+  if (ring != nullptr) ring->Clear();
+}
+
+void ClearFlightRecords() {
+  const std::size_t rings = g_ring_count.load(std::memory_order_acquire);
+  for (std::size_t r = 0; r < rings; ++r) {
+    FlightRing* ring = g_rings[r].load(std::memory_order_acquire);
+    if (ring != nullptr) ring->Clear();
+  }
+  g_seq.store(0, std::memory_order_relaxed);
+}
+
+std::vector<FlightEntry> CollectFlightRecords() {
+  std::vector<FlightEntry> out;
+  const std::size_t rings = g_ring_count.load(std::memory_order_acquire);
+  for (std::size_t r = 0; r < rings; ++r) {
+    const FlightRing* ring = g_rings[r].load(std::memory_order_acquire);
+    if (ring == nullptr) continue;
+    const std::uint64_t next = ring->next.load(std::memory_order_acquire);
+    const std::uint64_t kept = std::min<std::uint64_t>(next, kRingCapacity);
+    for (std::uint64_t i = next - kept; i < next; ++i) {
+      out.push_back(ring->ring[i & (kRingCapacity - 1)]);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightEntry& a, const FlightEntry& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+}  // namespace ttmqo::obs

@@ -1,0 +1,101 @@
+// The flight recorder: a black box for postmortems.
+//
+// While *armed*, instrumented sites append fixed-size records — simulator
+// events, run brackets, fault transitions, optimizer decisions — to
+// per-thread lock-free rings holding the last N records each.  On an
+// invariant failure (`Check`), a chaos/golden assertion, or a fatal signal
+// (SIGSEGV/SIGABRT/SIGBUS/SIGFPE), the rings are dumped to a postmortem
+// JSON file so the events leading up to the failure are preserved.
+//
+// Disarmed (the default), a record call is one relaxed atomic load and a
+// branch, cheap enough to leave in the simulator's per-event hot path.
+//
+// Signal-safety rules (see DESIGN.md):
+//   - Record entries are PODs with inline char arrays — no allocation, no
+//     locking on the record path (registration of a new thread's ring takes
+//     a mutex once, outside any signal context).
+//   - The dump path uses only `open`/`write`/`snprintf` into stack buffers;
+//     it never allocates, locks, or touches iostreams, so it can run inside
+//     a SIGSEGV handler on a corrupted heap.
+//   - Rings are reachable from a global fixed-capacity pointer table with
+//     an atomic count, so the handler can walk them without coordination.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ttmqo::obs {
+
+/// One flight-recorder entry.  POD; strings are truncating inline copies.
+struct FlightEntry {
+  static constexpr std::size_t kKindLen = 24;
+  static constexpr std::size_t kDetailLen = 48;
+
+  std::uint64_t seq = 0;        ///< global order of recording
+  std::int64_t sim_time = -1;   ///< simulation time (ms) or -1 if n/a
+  std::int64_t a = 0;           ///< numeric payload, meaning per kind
+  std::int64_t b = 0;
+  std::int64_t c = 0;
+  std::uint32_t tid = 0;        ///< recording thread's obs tid
+  char kind[kKindLen] = {};     ///< e.g. "sim.event", "fault.down"
+  char detail[kDetailLen] = {};  ///< optional short text
+};
+
+namespace flight_internal {
+extern std::atomic<bool> g_armed;
+void RecordSlow(const char* kind, std::int64_t sim_time, std::int64_t a,
+                std::int64_t b, std::int64_t c, const char* detail);
+}  // namespace flight_internal
+
+/// True while the recorder captures records.
+inline bool FlightRecorderArmed() {
+  return flight_internal::g_armed.load(std::memory_order_relaxed);
+}
+
+/// Appends a record to the calling thread's ring when armed; otherwise one
+/// load and a branch.
+inline void RecordFlight(const char* kind, std::int64_t sim_time = -1,
+                         std::int64_t a = 0, std::int64_t b = 0,
+                         std::int64_t c = 0, const char* detail = nullptr) {
+  if (FlightRecorderArmed()) {
+    flight_internal::RecordSlow(kind, sim_time, a, b, c, detail);
+  }
+}
+
+/// Arms recording only — no signal handlers, no check hook.  For tests and
+/// in-process capture.
+void ArmFlightRecorder();
+
+/// Stops recording and detaches the postmortem triggers installed by
+/// `ArmPostmortem` (signal handlers restored, check hook removed).  Ring
+/// contents are kept until `ClearFlightRecords`.  Safe to call when not
+/// armed.
+void DisarmFlightRecorder();
+
+/// Arms the full postmortem pipeline: recording on, dumps written to `dir`
+/// (created if missing), a `Check` failure hook that dumps before the
+/// exception propagates, and fatal-signal handlers (SIGSEGV, SIGABRT,
+/// SIGBUS, SIGFPE) that dump and then re-raise with the default action.
+void ArmPostmortem(const std::string& dir);
+
+/// Writes every thread's ring to `<dir>/postmortem_<n>_<reason>.json` and
+/// returns the path (empty string when no dump directory is configured or
+/// the file could not be created).  Allocation-free core; callable from the
+/// installed signal handlers.
+std::string DumpPostmortem(const char* reason);
+
+/// Clears the calling thread's ring.  The simulator calls this on teardown
+/// so back-to-back in-process runs (sweep tasks) don't interleave stale
+/// records into the next run's postmortem.
+void ClearThreadFlightRing();
+
+/// Clears every registered ring and the global sequence counter.
+void ClearFlightRecords();
+
+/// Copies all records from all rings, oldest first (global seq order).  For
+/// tests and non-signal inspection.
+std::vector<FlightEntry> CollectFlightRecords();
+
+}  // namespace ttmqo::obs

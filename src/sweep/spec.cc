@@ -1,11 +1,13 @@
 #include "sweep/spec.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <sstream>
 #include <stdexcept>
 
 #include "fault/fault_plan.h"
+#include "obs/build_info.h"
 #include "util/check.h"
 #include "util/rng.h"
 #include "workload/static_workloads.h"
@@ -316,6 +318,22 @@ std::vector<RunUnit> SweepSpec::Expand() const {
   return units;
 }
 
+std::vector<std::size_t> SweepReport::Stragglers(double k) const {
+  std::vector<double> walls;
+  walls.reserve(rows.size());
+  for (const SweepRow& row : rows) {
+    if (row.wall_ms > 0.0) walls.push_back(row.wall_ms);
+  }
+  if (walls.size() < 2) return {};
+  std::sort(walls.begin(), walls.end());
+  const double median = walls[walls.size() / 2];
+  std::vector<std::size_t> out;
+  for (const SweepRow& row : rows) {
+    if (row.wall_ms > k * median) out.push_back(row.index);
+  }
+  return out;
+}
+
 void SweepReport::WriteJson(std::ostream& out, bool include_timing) const {
   out << "{\"spec\":\"" << JsonEscape(spec_text) << "\",\"tasks\":"
       << rows.size();
@@ -327,6 +345,40 @@ void SweepReport::WriteJson(std::ostream& out, bool include_timing) const {
           << ",\"events_per_sec\":"
           << Num(static_cast<double>(TotalEvents()) * 1000.0 / wall_ms);
     }
+    // Pool utilization, stragglers, and build provenance live only in the
+    // timed form: they depend on the machine and the moment, never on the
+    // spec, so the canonical (jobs-independent) report must not see them.
+    if (!pool.workers.empty()) {
+      out << ",\"pool_utilization\":" << Num(pool.Utilization())
+          << ",\"workers\":[";
+      for (std::size_t i = 0; i < pool.workers.size(); ++i) {
+        const WorkerStat& w = pool.workers[i];
+        if (i > 0) out << ",";
+        out << "{\"worker\":" << w.worker << ",\"tasks\":" << w.tasks
+            << ",\"busy_ms\":" << Num(w.busy_ms);
+        if (pool.wall_ms > 0.0) {
+          out << ",\"utilization\":" << Num(w.busy_ms / pool.wall_ms);
+        }
+        out << "}";
+      }
+      out << "]";
+    }
+    const std::vector<std::size_t> stragglers = Stragglers();
+    out << ",\"stragglers\":[";
+    for (std::size_t i = 0; i < stragglers.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "{\"index\":" << stragglers[i] << ",\"label\":\""
+          << JsonEscape(rows[stragglers[i]].workload) << "\",\"wall_ms\":"
+          << Num(rows[stragglers[i]].wall_ms) << "}";
+    }
+    out << "]";
+    const obs::BuildInfo& build = obs::GetBuildInfo();
+    out << ",\"build\":{\"git_sha\":\"" << JsonEscape(build.git_sha)
+        << "\",\"compiler\":\"" << JsonEscape(build.compiler)
+        << "\",\"build_type\":\"" << JsonEscape(build.build_type)
+        << "\",\"hostname\":\"" << JsonEscape(build.hostname)
+        << "\",\"hardware_concurrency\":" << build.hardware_concurrency
+        << "}";
   }
   out << ",\"rows\":[";
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -398,8 +450,9 @@ SweepReport RunSweep(const SweepSpec& spec, unsigned jobs,
       }
     }
   }
+  PoolReport pool;
   const auto start = std::chrono::steady_clock::now();
-  std::vector<TimedRunResult> results = RunMany(units, jobs);
+  std::vector<TimedRunResult> results = RunMany(units, jobs, &pool);
   const double wall_ms = std::chrono::duration<double, std::milli>(
                              std::chrono::steady_clock::now() - start)
                              .count();
@@ -408,6 +461,7 @@ SweepReport RunSweep(const SweepSpec& spec, unsigned jobs,
   report.spec_text = spec.ToString();
   report.jobs = jobs == 0 ? HardwareJobs() : jobs;
   report.wall_ms = wall_ms;
+  report.pool = std::move(pool);
   report.rows.reserve(units.size());
   std::size_t index = 0;
   for (const std::size_t side : spec.grid_sides) {

@@ -81,11 +81,19 @@ struct SweepReport {
   unsigned jobs = 1;
   double wall_ms = 0.0;
   std::vector<SweepRow> rows;
+  /// Per-worker utilization of the pool that executed the sweep.
+  PoolReport pool;
+
+  /// Row indices whose wall time exceeds `k` times the median row wall
+  /// time — the stragglers that cap parallel speedup.  Empty when timing
+  /// was not collected.
+  std::vector<std::size_t> Stragglers(double k = 3.0) const;
 
   /// Writes the report as one JSON document.  With `include_timing`
-  /// false, wall-clock fields (per-row `wall_ms`, the totals block) are
-  /// omitted and the output depends only on the spec — the canonical
-  /// form the determinism tests compare byte-for-byte.
+  /// false, wall-clock fields (per-row `wall_ms`, the totals block, the
+  /// worker/straggler/build diagnostics) are omitted and the output
+  /// depends only on the spec — the canonical form the determinism tests
+  /// compare byte-for-byte.
   void WriteJson(std::ostream& out, bool include_timing = true) const;
 
   /// The same rows as CSV (one line per task, sorted by index).

@@ -31,6 +31,33 @@ unsigned HardwareJobs();
 void ParallelFor(std::size_t count, unsigned jobs,
                  const std::function<void(std::size_t)>& fn);
 
+/// `ParallelFor` that also passes the claiming worker's index
+/// (`0 .. NumPoolWorkers(count, jobs) - 1`) so callers can keep per-worker
+/// tallies without synchronization.
+void ParallelForWorkers(
+    std::size_t count, unsigned jobs,
+    const std::function<void(std::size_t, unsigned)>& fn);
+
+/// Number of worker threads `ParallelFor(count, jobs, ...)` actually uses.
+unsigned NumPoolWorkers(std::size_t count, unsigned jobs);
+
+/// Per-worker utilization of one `RunMany` execution.
+struct WorkerStat {
+  unsigned worker = 0;
+  std::uint64_t tasks = 0;   ///< tasks this worker claimed
+  double busy_ms = 0.0;      ///< wall time spent inside tasks
+};
+
+/// Pool-level observability of a `RunMany` call; feeds the sweep report's
+/// utilization and straggler diagnostics.
+struct PoolReport {
+  double wall_ms = 0.0;  ///< the whole pool, start to join
+  std::vector<WorkerStat> workers;
+
+  /// busy / (workers * wall): 1.0 = perfectly load-balanced pool.
+  double Utilization() const;
+};
+
 /// One independent simulation of a sweep: a full run configuration plus
 /// its workload schedule.  The label names the task in reports
 /// ("grid=8 workload=C mode=ttmqo seed=3").
@@ -51,7 +78,10 @@ struct TimedRunResult {
 /// shared between concurrent tasks except `RunObservability` hooks the
 /// caller put into the configs (a `MetricsRegistry` is safe, a trace
 /// writer is not — serialize trace-capturing sweeps with `jobs = 1`).
+/// When `pool` is non-null it receives per-worker task counts and busy
+/// time.
 std::vector<TimedRunResult> RunMany(const std::vector<RunUnit>& units,
-                                    unsigned jobs);
+                                    unsigned jobs,
+                                    PoolReport* pool = nullptr);
 
 }  // namespace ttmqo

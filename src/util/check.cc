@@ -1,0 +1,22 @@
+#include "util/check.h"
+
+#include <atomic>
+
+namespace ttmqo {
+namespace {
+std::atomic<CheckFailureHook> g_hook{nullptr};
+}  // namespace
+
+CheckFailureHook SetCheckFailureHook(CheckFailureHook hook) {
+  return g_hook.exchange(hook, std::memory_order_acq_rel);
+}
+
+namespace check_internal {
+
+void NotifyCheckFailure(const char* message) {
+  CheckFailureHook hook = g_hook.load(std::memory_order_acquire);
+  if (hook != nullptr) hook(message);
+}
+
+}  // namespace check_internal
+}  // namespace ttmqo

@@ -18,14 +18,30 @@ class CheckFailure : public std::logic_error {
   using std::logic_error::logic_error;
 };
 
+/// Called (if installed) with the full failure message just before `Check`
+/// throws.  Lets the observability layer dump a postmortem flight record at
+/// the moment of an invariant violation without util depending on it.  The
+/// hook must not throw.
+using CheckFailureHook = void (*)(const char* message);
+
+/// Installs `hook` (nullptr uninstalls); returns the previous hook.
+CheckFailureHook SetCheckFailureHook(CheckFailureHook hook);
+
+namespace check_internal {
+/// Runs the installed hook, if any.
+void NotifyCheckFailure(const char* message);
+}  // namespace check_internal
+
 /// Verifies an internal invariant; throws `CheckFailure` with the call site
 /// location when `condition` is false.
 inline void Check(bool condition, std::string_view message,
                   std::source_location loc = std::source_location::current()) {
   if (!condition) {
-    throw CheckFailure(std::string(loc.file_name()) + ":" +
-                       std::to_string(loc.line()) + ": check failed: " +
-                       std::string(message));
+    const std::string what = std::string(loc.file_name()) + ":" +
+                             std::to_string(loc.line()) +
+                             ": check failed: " + std::string(message);
+    check_internal::NotifyCheckFailure(what.c_str());
+    throw CheckFailure(what);
   }
 }
 

@@ -6,6 +6,8 @@
 
 #include "metrics/metrics_observer.h"
 #include "net/topology.h"
+#include "obs/flight_recorder.h"
+#include "obs/span.h"
 #include "util/check.h"
 #include "util/mathx.h"
 
@@ -152,6 +154,17 @@ std::unique_ptr<FieldModel> MakeFieldModel(FieldKind kind,
 RunResult RunExperiment(const RunConfig& config,
                         const std::vector<WorkloadEvent>& schedule) {
   CheckArg(config.duration_ms > 0, "RunExperiment: duration must be positive");
+  obs::RecordFlight("run.start", 0,
+                    static_cast<std::int64_t>(config.seed),
+                    static_cast<std::int64_t>(schedule.size()), 0,
+                    OptimizationModeName(config.mode).data());
+
+  // The setup phase ends mid-function (everything before RunUntil), so it
+  // cannot be a plain scoped macro; the optional closes it explicitly.
+#ifndef TTMQO_DISABLE_SPANS
+  std::optional<obs::SpanScope> setup_span;
+  setup_span.emplace("phase.setup", /*with_cpu=*/true);
+#endif
 
   // Merge the legacy crash list into the declarative plan and validate the
   // whole schedule up front: a fault targeting the base station, a dead
@@ -263,8 +276,15 @@ RunResult RunExperiment(const RunConfig& config,
                                 [&stats] { stats.Tick(); });
   }
 
-  network.sim().RunUntil(config.duration_ms);
+#ifndef TTMQO_DISABLE_SPANS
+  setup_span.reset();
+#endif
+  {
+    TTMQO_PHASE_SPAN("phase.event_loop");
+    network.sim().RunUntil(config.duration_ms);
+  }
 
+  TTMQO_PHASE_SPAN("phase.summarize");
   // Flush open accounting spans (e.g. a node still asleep, or failed while
   // asleep) so the summary sees the whole run.
   network.FinalizeAccounting();
@@ -298,6 +318,9 @@ RunResult RunExperiment(const RunConfig& config,
                   static_cast<std::int64_t>(run.summary.retransmissions))
             .With("results", static_cast<std::int64_t>(run.results.size())));
   }
+  obs::RecordFlight("run.end", config.duration_ms,
+                    static_cast<std::int64_t>(run.events_executed),
+                    static_cast<std::int64_t>(run.summary.total_messages));
   return run;
 }
 

@@ -1,0 +1,224 @@
+// Exporter format tests: Prometheus exposition escaping and label layout
+// from the MetricsRegistry, and the JSONL trace escaping round-trip.  The
+// exposition format defines exactly three label-value escapes (backslash,
+// quote, newline); JSON-style tab/unicode sequences would be rejected by a
+// Prometheus scraper, so these tests pin the difference down.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "json_checker.h"
+#include "metrics/registry.h"
+#include "metrics/trace.h"
+#include "util/tracing.h"
+
+namespace ttmqo {
+namespace {
+
+using ttmqo::testing::IsValidJson;
+
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+/// Decodes the JSON string escapes our writers emit (no surrogate pairs:
+/// the escaper only produces \u00XX for control bytes).
+std::string JsonUnescape(std::string_view escaped) {
+  std::string out;
+  for (std::size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] != '\\') {
+      out += escaped[i];
+      continue;
+    }
+    ++i;
+    switch (escaped[i]) {
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'u': {
+        const std::string hex(escaped.substr(i + 1, 4));
+        out += static_cast<char>(std::stoi(hex, nullptr, 16));
+        i += 4;
+        break;
+      }
+      default: out += escaped[i];  // quote, backslash, slash
+    }
+  }
+  return out;
+}
+
+/// Extracts the raw (still-escaped) JSON string value of `key` from a
+/// serialized object.
+std::string RawStringField(const std::string& json, const std::string& key) {
+  const std::string anchor = "\"" + key + "\":\"";
+  const std::size_t start = json.find(anchor);
+  if (start == std::string::npos) return {};
+  std::size_t pos = start + anchor.size();
+  std::string raw;
+  while (pos < json.size() && json[pos] != '"') {
+    if (json[pos] == '\\') {
+      raw += json[pos];
+      ++pos;
+    }
+    raw += json[pos];
+    ++pos;
+  }
+  return raw;
+}
+
+// -------------------------------------------------- prometheus format --
+
+TEST(PrometheusTest, LabelValuesUseExpositionEscapes) {
+  MetricsRegistry registry;
+  registry
+      .GetCounter("m_total", {{"msg", "line1\nline2"},
+                              {"path", "a\\b"},
+                              {"quote", "say \"hi\""}})
+      .Add(1.0);
+  std::ostringstream out;
+  registry.WritePrometheus(out);
+  const std::string text = out.str();
+  // Labels are sorted by name; values escape exactly newline, backslash,
+  // and double quote.
+  EXPECT_NE(text.find("m_total{msg=\"line1\\nline2\",path=\"a\\\\b\","
+                      "quote=\"say \\\"hi\\\"\"} 1"),
+            std::string::npos)
+      << text;
+}
+
+TEST(PrometheusTest, OtherBytesPassThroughRaw) {
+  std::string value = "a\tb";
+  value += static_cast<char>(0x01);
+  value += 'c';
+  MetricsRegistry registry;
+  registry.GetCounter("m_total", {{"v", value}}).Add(1.0);
+  std::ostringstream out;
+  registry.WritePrometheus(out);
+  const std::string text = out.str();
+  // A tab or other control byte is legal raw inside a quoted label value;
+  // JSON-style \t or \u00XX sequences are not part of the exposition
+  // format and must not appear.
+  EXPECT_NE(text.find("v=\"" + value + "\""), std::string::npos) << text;
+  EXPECT_EQ(text.find("\\t"), std::string::npos) << text;
+  EXPECT_EQ(text.find("\\u"), std::string::npos) << text;
+}
+
+TEST(PrometheusTest, SampleLineFormat) {
+  MetricsRegistry registry;
+  registry.GetCounter("tx_total", {{"b", "2"}, {"a", "1"}}).Add(3.0);
+  registry.GetGauge("depth").Set(0.5);
+  std::ostringstream out;
+  registry.WritePrometheus(out);
+  const std::vector<std::string> lines = Lines(out.str());
+  // name{sorted labels} value — one sample per line, TYPE comment first.
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0], "# TYPE depth gauge");
+  EXPECT_EQ(lines[1], "depth 0.5");
+  EXPECT_EQ(lines[2], "# TYPE tx_total counter");
+  EXPECT_EQ(lines[3], "tx_total{a=\"1\",b=\"2\"} 3");
+}
+
+TEST(PrometheusTest, HistogramReusesLabelsWithLe) {
+  MetricsRegistry registry;
+  HistogramMetric& h =
+      registry.GetHistogram("dur_ms", {2.0, 8.0}, {{"mode", "ttmqo"}});
+  h.Observe(1.0);
+  h.Observe(100.0);
+  std::ostringstream out;
+  registry.WritePrometheus(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("dur_ms_bucket{mode=\"ttmqo\",le=\"2\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("dur_ms_bucket{mode=\"ttmqo\",le=\"+Inf\"} 2"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("dur_ms_sum{mode=\"ttmqo\"} 101"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("dur_ms_count{mode=\"ttmqo\"} 2"), std::string::npos)
+      << text;
+}
+
+TEST(PrometheusTest, JsonExportStaysValidWithSpecialLabels) {
+  MetricsRegistry registry;
+  registry
+      .GetCounter("m_total",
+                  {{"v", "tab\there"}, {"w", "line\nbreak \"q\" b\\s"}})
+      .Add(1.0);
+  std::ostringstream out;
+  registry.WriteJson(out);
+  // The instrument key holds Prometheus-escaped values (and raw tabs);
+  // WriteJsonString re-escapes it, so the JSON document stays valid.
+  EXPECT_TRUE(IsValidJson(out.str())) << out.str();
+}
+
+// ------------------------------------------------- jsonl round-trip --
+
+TEST(JsonlRoundTripTest, EscapedStringsSurviveParsing) {
+  std::string nasty = "a\"b\\c\nd\te\rf";
+  nasty += static_cast<char>(0x01);
+  nasty += "g/h";
+  std::ostringstream out;
+  {
+    JsonlTraceWriter writer(out);
+    TraceEvent event("obs.test.roundtrip");
+    event.time = 3;
+    event.With("s", nasty);
+    writer.Emit(event);
+  }
+  const std::vector<std::string> lines = Lines(out.str());
+  ASSERT_EQ(lines.size(), 1u);
+  ASSERT_TRUE(IsValidJson(lines[0])) << lines[0];
+  EXPECT_EQ(JsonUnescape(RawStringField(lines[0], "s")), nasty);
+}
+
+TEST(JsonlRoundTripTest, EveryLineParsesIndependently) {
+  std::ostringstream out;
+  {
+    JsonlTraceWriter writer(out);
+    for (int i = 0; i < 3; ++i) {
+      TraceEvent event("obs.test.multi");
+      event.time = i;
+      event.With("note", std::string("row \"") + std::to_string(i) + "\"");
+      writer.Emit(event);
+    }
+  }
+  const std::vector<std::string> lines = Lines(out.str());
+  ASSERT_EQ(lines.size(), 3u);
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(IsValidJson(line)) << line;
+  }
+}
+
+TEST(JsonlRoundTripTest, EscapeUnescapeIsIdentity) {
+  std::vector<std::string> cases = {
+      "",
+      "plain",
+      "quote\"backslash\\slash/",
+      "\n\r\t\b\f",
+      "mixed \"x\\y\"\nnext\tcol",
+  };
+  std::string with_controls = "nul";
+  with_controls += static_cast<char>(0x01);
+  with_controls += static_cast<char>(0x1f);
+  with_controls += " suffix";
+  cases.push_back(with_controls);
+  for (const std::string& original : cases) {
+    std::string escaped;
+    JsonEscape(original, escaped);
+    EXPECT_EQ(JsonUnescape(escaped), original) << escaped;
+  }
+}
+
+}  // namespace
+}  // namespace ttmqo

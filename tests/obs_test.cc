@@ -1,0 +1,427 @@
+// Tests for the obs layer: span recording (nesting, sampling, the runtime
+// kill switch), Chrome trace-event export (structure checked with the mini
+// JSON parser), build provenance, the flight-recorder ring, and the
+// check-failure postmortem pipeline end to end.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "json_checker.h"
+#include "net/simulator.h"
+#include "obs/build_info.h"
+#include "obs/chrome_trace.h"
+#include "obs/flight_recorder.h"
+#include "obs/session.h"
+#include "obs/span.h"
+#include "util/check.h"
+
+namespace ttmqo {
+namespace {
+
+using obs::CollectFlightRecords;
+using obs::CollectSpans;
+using obs::FlightEntry;
+using obs::SpanRecord;
+using obs::SpanSnapshot;
+using obs::SpanStat;
+using ttmqo::testing::IsValidJson;
+
+/// Spins until the monotonic clock has visibly advanced, so span durations
+/// in these tests are strictly positive even on coarse clocks.
+void BurnWallTime() {
+  const std::uint64_t start = obs::NowNs();
+  while (obs::NowNs() - start < 50'000) {  // 50 us
+  }
+}
+
+const SpanStat* FindStat(const SpanSnapshot& snapshot, const char* name) {
+  for (const SpanStat& stat : snapshot.totals) {
+    if (stat.name == name) return &stat;
+  }
+  return nullptr;
+}
+
+std::vector<SpanRecord> AllRecords(const SpanSnapshot& snapshot,
+                                   const char* name) {
+  std::vector<SpanRecord> records;
+  for (const auto& thread : snapshot.threads) {
+    for (const SpanRecord& r : thread.records) {
+      if (std::strcmp(r.name, name) == 0) records.push_back(r);
+    }
+  }
+  return records;
+}
+
+/// Splits the top-level `{...}` elements of the first JSON array stored
+/// under `"key":[...]`.  Assumes the document is valid JSON (checked by the
+/// caller first), so brace matching only needs to respect strings.
+std::vector<std::string> ArrayObjects(const std::string& json,
+                                      const std::string& key) {
+  std::vector<std::string> objects;
+  const std::size_t anchor = json.find("\"" + key + "\"");
+  if (anchor == std::string::npos) return objects;
+  std::size_t pos = json.find('[', anchor);
+  if (pos == std::string::npos) return objects;
+  int depth = 0;
+  bool in_string = false;
+  std::size_t start = 0;
+  for (++pos; pos < json.size(); ++pos) {
+    const char c = json[pos];
+    if (in_string) {
+      if (c == '\\') ++pos;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{') {
+      if (depth == 0) start = pos;
+      ++depth;
+    } else if (c == '}') {
+      if (--depth == 0) objects.push_back(json.substr(start, pos - start + 1));
+    } else if (c == ']' && depth == 0) {
+      break;
+    }
+  }
+  return objects;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+std::filesystem::path FreshTempDir(const char* tag) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) /
+      (std::string("ttmqo_obs_test_") + tag);
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// ------------------------------------------------------------- spans --
+
+TEST(SpanTest, RecordsAndAggregates) {
+  obs::ResetSpans();
+  obs::SetSpansEnabled(true);
+  {
+    TTMQO_SPAN("obs.test.basic");
+    BurnWallTime();
+  }
+  const SpanSnapshot snapshot = CollectSpans();
+  const SpanStat* stat = FindStat(snapshot, "obs.test.basic");
+  ASSERT_NE(stat, nullptr);
+  EXPECT_EQ(stat->count, 1u);
+  EXPECT_EQ(stat->records, 1u);
+  EXPECT_GT(stat->total_ns, 0u);
+  EXPECT_EQ(stat->estimated_total_ns, stat->total_ns);  // unsampled
+}
+
+TEST(SpanTest, NestedSpansCarryDepth) {
+  obs::ResetSpans();
+  obs::SetSpansEnabled(true);
+  {
+    TTMQO_SPAN("obs.test.outer");
+    TTMQO_SPAN("obs.test.inner");
+    BurnWallTime();
+  }
+  const SpanSnapshot snapshot = CollectSpans();
+  const auto outer = AllRecords(snapshot, "obs.test.outer");
+  const auto inner = AllRecords(snapshot, "obs.test.inner");
+  ASSERT_EQ(outer.size(), 1u);
+  ASSERT_EQ(inner.size(), 1u);
+  EXPECT_EQ(outer[0].depth, 0u);
+  EXPECT_EQ(inner[0].depth, 1u);
+  // The inner span is contained in the outer one.
+  EXPECT_GE(inner[0].start_ns, outer[0].start_ns);
+  EXPECT_LE(inner[0].dur_ns, outer[0].dur_ns);
+}
+
+TEST(SpanTest, RuntimeKillSwitchStopsRecording) {
+  obs::ResetSpans();
+  obs::SetSpansEnabled(false);
+  {
+    TTMQO_SPAN("obs.test.disabled");
+  }
+  obs::SetSpansEnabled(true);
+  const SpanSnapshot snapshot = CollectSpans();
+  EXPECT_EQ(FindStat(snapshot, "obs.test.disabled"), nullptr);
+}
+
+TEST(SpanTest, SampledSiteScalesCountsBack) {
+  obs::ResetSpans();
+  obs::SetSpansEnabled(true);
+  // 256 executions at shift 4: exactly 16 are timed regardless of the
+  // site's tick phase, and the aggregate count is scaled back to 256.
+  for (int i = 0; i < 256; ++i) {
+    TTMQO_SPAN_SAMPLED("obs.test.sampled", 4);
+  }
+  const SpanSnapshot snapshot = CollectSpans();
+  const SpanStat* stat = FindStat(snapshot, "obs.test.sampled");
+  ASSERT_NE(stat, nullptr);
+  EXPECT_EQ(stat->records, 16u);
+  EXPECT_EQ(stat->count, 256u);
+  EXPECT_EQ(stat->estimated_total_ns, stat->total_ns * 16);
+}
+
+TEST(SpanTest, PhaseSpanMeasuresThreadCpu) {
+  obs::ResetSpans();
+  obs::SetSpansEnabled(true);
+  {
+    TTMQO_PHASE_SPAN("obs.test.phase");
+    BurnWallTime();  // busy wait: wall time is CPU time here
+  }
+  const SpanSnapshot snapshot = CollectSpans();
+  const auto records = AllRecords(snapshot, "obs.test.phase");
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_TRUE(records[0].has_cpu);
+  EXPECT_GT(records[0].cpu_ns, 0u);
+}
+
+TEST(SpanTest, ResetDiscardsEverything) {
+  obs::SetSpansEnabled(true);
+  {
+    TTMQO_SPAN("obs.test.discarded");
+  }
+  obs::ResetSpans();
+  const SpanSnapshot snapshot = CollectSpans();
+  EXPECT_EQ(FindStat(snapshot, "obs.test.discarded"), nullptr);
+}
+
+// ------------------------------------------------------ chrome trace --
+
+TEST(ChromeTraceTest, EveryEventCarriesRequiredFields) {
+  obs::ResetSpans();
+  obs::SetSpansEnabled(true);
+  {
+    TTMQO_SPAN("obs.test.trace_outer");
+    TTMQO_SPAN("obs.test.trace_inner");
+    BurnWallTime();
+  }
+  for (int i = 0; i < 64; ++i) {
+    TTMQO_SPAN_SAMPLED("obs.test.trace_sampled", 6);
+  }
+  std::ostringstream out;
+  obs::WriteChromeTrace(out, CollectSpans());
+  const std::string json = out.str();
+  ASSERT_TRUE(IsValidJson(json)) << json;
+
+  const std::vector<std::string> events = ArrayObjects(json, "traceEvents");
+  ASSERT_GE(events.size(), 3u);  // 2+ slices and a thread_name metadata
+  bool saw_complete = false;
+  bool saw_metadata = false;
+  bool saw_sampled_args = false;
+  for (const std::string& event : events) {
+    // The required trace-event fields, on every single event.
+    EXPECT_NE(event.find("\"ph\":"), std::string::npos) << event;
+    EXPECT_NE(event.find("\"pid\":"), std::string::npos) << event;
+    EXPECT_NE(event.find("\"tid\":"), std::string::npos) << event;
+    EXPECT_NE(event.find("\"name\":"), std::string::npos) << event;
+    if (event.find("\"ph\": \"X\"") != std::string::npos) {
+      saw_complete = true;
+      EXPECT_NE(event.find("\"ts\":"), std::string::npos) << event;
+      EXPECT_NE(event.find("\"dur\":"), std::string::npos) << event;
+    }
+    if (event.find("\"ph\": \"M\"") != std::string::npos) saw_metadata = true;
+    if (event.find("\"sampled_1_of\": 64") != std::string::npos) {
+      saw_sampled_args = true;
+    }
+  }
+  EXPECT_TRUE(saw_complete);
+  EXPECT_TRUE(saw_metadata);
+  EXPECT_TRUE(saw_sampled_args);
+}
+
+TEST(ChromeTraceTest, SessionWritesTraceFileOnFinish) {
+  const std::filesystem::path dir = FreshTempDir("trace");
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "trace.json").string();
+
+  obs::ObsSession::Options options;
+  options.trace_chrome_path = path;
+  obs::ObsSession session(options);
+  obs::SetSpansEnabled(true);
+  {
+    TTMQO_SPAN("obs.test.session_span");
+  }
+  session.Finish();
+  session.Finish();  // idempotent
+
+  const std::string json = ReadFile(path);
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("obs.test.session_span"), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+}
+
+TEST(ChromeTraceTest, FileExportThrowsOnBadPath) {
+  EXPECT_THROW(obs::WriteChromeTraceFile("/nonexistent_dir_7q/trace.json"),
+               std::invalid_argument);
+}
+
+TEST(ObsSessionTest, ConstructionFailsFastOnUnwritableTracePath) {
+  // The constructor probes the trace path so a bad --trace-chrome aborts
+  // before the run, from code that can still turn it into exit 1 — never
+  // from the destructor (a throwing destructor would std::terminate).
+  obs::ObsSession::Options options;
+  options.trace_chrome_path = "/nonexistent_dir_7q/trace.json";
+  EXPECT_THROW(obs::ObsSession session(std::move(options)),
+               std::runtime_error);
+}
+
+TEST(ObsSessionTest, ConstructionClearsStaleState) {
+  obs::SetSpansEnabled(true);
+  {
+    TTMQO_SPAN("obs.test.stale");
+  }
+  obs::ObsSession session(obs::ObsSession::Options{});
+  EXPECT_EQ(FindStat(CollectSpans(), "obs.test.stale"), nullptr);
+  EXPECT_TRUE(CollectFlightRecords().empty());
+}
+
+// -------------------------------------------------------- build info --
+
+TEST(BuildInfoTest, PopulatedAndSerializable) {
+  const obs::BuildInfo& info = obs::GetBuildInfo();
+  EXPECT_FALSE(info.compiler.empty());
+  EXPECT_FALSE(info.build_type.empty());
+  EXPECT_GE(info.hardware_concurrency, 1u);
+
+  std::ostringstream out;
+  obs::WriteBuildInfoJson(out);
+  EXPECT_TRUE(IsValidJson(out.str())) << out.str();
+  EXPECT_NE(out.str().find("\"git_sha\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"hardware_concurrency\""), std::string::npos);
+}
+
+TEST(BuildInfoTest, SingleCoreWarningMatchesHardware) {
+  std::ostringstream err;
+  const bool fired = obs::WarnIfSingleCore(err);
+  EXPECT_EQ(fired, obs::GetBuildInfo().hardware_concurrency <= 1);
+  EXPECT_EQ(fired, !err.str().empty());
+}
+
+// --------------------------------------------------- flight recorder --
+
+TEST(FlightTest, DisarmedRecordsNothing) {
+  obs::DisarmFlightRecorder();
+  obs::ClearFlightRecords();
+  obs::RecordFlight("obs.test.unarmed", 1);
+  EXPECT_TRUE(CollectFlightRecords().empty());
+}
+
+TEST(FlightTest, RecordsInOrderAndTruncatesStrings) {
+  obs::ClearFlightRecords();
+  obs::ArmFlightRecorder();
+  obs::RecordFlight("obs.test.k1", 5, 1, 2, 3, "hello");
+  obs::RecordFlight("a_kind_name_far_longer_than_the_inline_field", 6, 4, 5,
+                    6,
+                    "a detail string far longer than the inline capacity of "
+                    "the flight entry");
+  obs::DisarmFlightRecorder();
+
+  const std::vector<FlightEntry> records = CollectFlightRecords();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_LT(records[0].seq, records[1].seq);
+  EXPECT_STREQ(records[0].kind, "obs.test.k1");
+  EXPECT_EQ(records[0].sim_time, 5);
+  EXPECT_EQ(records[0].a, 1);
+  EXPECT_EQ(records[0].b, 2);
+  EXPECT_EQ(records[0].c, 3);
+  EXPECT_STREQ(records[0].detail, "hello");
+  // Over-long strings truncate (never overflow) and stay NUL-terminated.
+  EXPECT_EQ(std::strlen(records[1].kind), FlightEntry::kKindLen - 1);
+  EXPECT_EQ(std::strlen(records[1].detail), FlightEntry::kDetailLen - 1);
+}
+
+TEST(FlightTest, RingKeepsTheNewestRecords) {
+  obs::ClearFlightRecords();
+  obs::ArmFlightRecorder();
+  for (int i = 0; i < 300; ++i) {
+    obs::RecordFlight("obs.test.wrap", i, i);
+  }
+  obs::DisarmFlightRecorder();
+
+  const std::vector<FlightEntry> records = CollectFlightRecords();
+  ASSERT_FALSE(records.empty());
+  ASSERT_LT(records.size(), 300u);  // the ring wrapped
+  EXPECT_EQ(records.back().a, 299);
+  EXPECT_EQ(records.front().a,
+            300 - static_cast<std::int64_t>(records.size()));
+}
+
+TEST(FlightTest, SimulatorTeardownClearsThisThreadsRing) {
+  obs::ClearFlightRecords();
+  obs::ArmFlightRecorder();
+  {
+    Simulator sim;
+    sim.ScheduleAt(1, [] {});
+    sim.ScheduleAt(2, [] {});
+    sim.RunUntil(10);
+    EXPECT_FALSE(CollectFlightRecords().empty());  // sim.event was recorded
+  }
+  // The destructor must clear the thread's ring so a back-to-back
+  // in-process run can't interleave this run's tail into its postmortem.
+  EXPECT_TRUE(CollectFlightRecords().empty());
+  obs::DisarmFlightRecorder();
+}
+
+// ---------------------------------------------------------- postmortem --
+
+TEST(PostmortemTest, CheckFailureDumpsLastSimulatorEvents) {
+  const std::filesystem::path dir = FreshTempDir("check");
+  obs::ArmPostmortem(dir.string());
+  {
+    Simulator sim;
+    for (SimTime t = 1; t <= 5; ++t) sim.ScheduleAt(t, [] {});
+    sim.RunUntil(3);  // records sim.event entries while armed
+    EXPECT_THROW(Check(false, "induced for obs_test"), CheckFailure);
+    sim.RunUntil(10);
+  }
+  obs::DisarmFlightRecorder();
+  obs::ClearFlightRecords();
+
+  std::vector<std::filesystem::path> dumps;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    dumps.push_back(entry.path());
+  }
+  ASSERT_EQ(dumps.size(), 1u);
+  EXPECT_NE(dumps[0].filename().string().find("postmortem_"),
+            std::string::npos);
+  const std::string json = ReadFile(dumps[0].string());
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("induced for obs_test"), std::string::npos);
+  // The dump preserves the simulator events leading up to the failure.
+  EXPECT_NE(json.find("\"sim.event\""), std::string::npos);
+  const std::vector<std::string> entries = ArrayObjects(json, "records");
+  ASSERT_GE(entries.size(), 3u);
+  for (const std::string& entry : entries) {
+    EXPECT_NE(entry.find("\"seq\":"), std::string::npos) << entry;
+    EXPECT_NE(entry.find("\"kind\":"), std::string::npos) << entry;
+  }
+}
+
+TEST(PostmortemTest, ManualDumpReturnsPath) {
+  const std::filesystem::path dir = FreshTempDir("manual");
+  obs::ArmPostmortem(dir.string());
+  obs::RecordFlight("obs.test.manual", 7, 42);
+  const std::string path = obs::DumpPostmortem("manual_reason");
+  obs::DisarmFlightRecorder();
+  obs::ClearFlightRecords();
+
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(std::filesystem::path(path).parent_path(), dir);
+  const std::string json = ReadFile(path);
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("manual_reason"), std::string::npos);
+  EXPECT_NE(json.find("obs.test.manual"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ttmqo

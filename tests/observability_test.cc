@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/bs/rewriter.h"
+#include "json_checker.h"
 #include "metrics/epoch_sampler.h"
 #include "metrics/metrics_observer.h"
 #include "metrics/registry.h"
@@ -23,132 +24,9 @@
 namespace ttmqo {
 namespace {
 
-// ------------------------------------------------- mini JSON validator --
-// A strict recursive-descent JSON checker, enough to prove every document
-// and every JSONL line the exporters produce parses on its own.
-
-class JsonChecker {
- public:
-  explicit JsonChecker(std::string_view text) : text_(text) {}
-
-  bool Valid() {
-    SkipWs();
-    if (!Value()) return false;
-    SkipWs();
-    return pos_ == text_.size();
-  }
-
- private:
-  bool Value() {
-    if (pos_ >= text_.size()) return false;
-    switch (text_[pos_]) {
-      case '{': return Object();
-      case '[': return Array();
-      case '"': return String();
-      case 't': return Literal("true");
-      case 'f': return Literal("false");
-      case 'n': return Literal("null");
-      default: return Number();
-    }
-  }
-
-  bool Object() {
-    ++pos_;  // '{'
-    SkipWs();
-    if (Peek() == '}') { ++pos_; return true; }
-    while (true) {
-      SkipWs();
-      if (!String()) return false;
-      SkipWs();
-      if (Peek() != ':') return false;
-      ++pos_;
-      SkipWs();
-      if (!Value()) return false;
-      SkipWs();
-      if (Peek() == ',') { ++pos_; continue; }
-      if (Peek() == '}') { ++pos_; return true; }
-      return false;
-    }
-  }
-
-  bool Array() {
-    ++pos_;  // '['
-    SkipWs();
-    if (Peek() == ']') { ++pos_; return true; }
-    while (true) {
-      SkipWs();
-      if (!Value()) return false;
-      SkipWs();
-      if (Peek() == ',') { ++pos_; continue; }
-      if (Peek() == ']') { ++pos_; return true; }
-      return false;
-    }
-  }
-
-  bool String() {
-    if (Peek() != '"') return false;
-    ++pos_;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if (c == '"') { ++pos_; return true; }
-      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
-      if (c == '\\') {
-        ++pos_;
-        if (pos_ >= text_.size()) return false;
-        const char esc = text_[pos_];
-        if (esc == 'u') {
-          for (int i = 0; i < 4; ++i) {
-            ++pos_;
-            if (pos_ >= text_.size() || !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
-              return false;
-            }
-          }
-        } else if (std::string_view("\"\\/bfnrt").find(esc) ==
-                   std::string_view::npos) {
-          return false;
-        }
-      }
-      ++pos_;
-    }
-    return false;  // unterminated
-  }
-
-  bool Number() {
-    const std::size_t start = pos_;
-    if (Peek() == '-') ++pos_;
-    while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
-    if (Peek() == '.') {
-      ++pos_;
-      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
-    }
-    if (Peek() == 'e' || Peek() == 'E') {
-      ++pos_;
-      if (Peek() == '+' || Peek() == '-') ++pos_;
-      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
-    }
-    return pos_ > start && std::isdigit(static_cast<unsigned char>(text_[pos_ - 1]));
-  }
-
-  bool Literal(std::string_view word) {
-    if (text_.substr(pos_, word.size()) != word) return false;
-    pos_ += word.size();
-    return true;
-  }
-
-  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
-  void SkipWs() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
-            text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
-
-bool IsValidJson(std::string_view text) { return JsonChecker(text).Valid(); }
+// The mini JSON validator lives in json_checker.h, shared with the obs and
+// exporter tests.
+using ttmqo::testing::IsValidJson;
 
 std::vector<std::string> Lines(const std::string& text) {
   std::vector<std::string> lines;
