@@ -1,32 +1,95 @@
 #!/usr/bin/env bash
-# Local CI: build and test the plain configuration, then again with
-# AddressSanitizer + UBSan, then the chaos soak (with postmortem artifacts),
-# the Release perf smoke + observability-overhead gate, and a report-only
-# ThreadSanitizer pass.  Usage: ./ci.sh [extra ctest args...]
+# Local CI. Static analysis first (ttmqo_lint, clang-tidy, format diff),
+# then an explicit build matrix:
 #
-# Tests run tier by tier — unit first, then integration, then soak — each
-# under its own timeout, so a broken unit test fails the build before the
-# expensive whole-run tiers spend any time.  A per-test wall-clock report
-# (5 slowest) prints after each configuration to keep the suite honest
-# about where the time goes.
+#   config         flags                                  what runs
+#   -------------  -------------------------------------  -------------------------------
+#   build          -DENABLE_WERROR=ON                     unit/integration/soak tiers
+#   build-asan     ENABLE_SANITIZERS + ENABLE_WERROR      tiers, chaos soak, sweep determinism
+#   build-release  CMAKE_BUILD_TYPE=Release               perf smoke (report-only), obs gate
+#   build-tsan     ENABLE_TSAN + ENABLE_WERROR            sweep pool + fig4 drivers (BLOCKING)
+#
+# Static-analysis policy: ttmqo_lint and TSan are blocking; clang-tidy is
+# blocking whenever a clang-tidy binary exists (this container ships none,
+# so the step records SKIP rather than silently passing); the clang-format
+# diff is report-only until a tree-wide reformat lands. Logs land in
+# ci-artifacts/ alongside the postmortem dumps, and a per-step pass/fail
+# summary table prints at the end no matter how the run exits.
+#
+# Usage: ./ci.sh [extra ctest args...]
 set -euo pipefail
 cd "$(dirname "$0")"
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
+CTEST_ARGS=("$@")
+ARTIFACTS="ci-artifacts"
+rm -rf "${ARTIFACTS}"
+mkdir -p "${ARTIFACTS}"
+
+# ---------------------------------------------------------------------------
+# Step registry: every step records PASS / FAIL / WARN (report-only failure)
+# / SKIP (tool unavailable); the table prints even when a blocking step
+# aborts the run.
+
+STEP_NAMES=()
+STEP_RESULTS=()
+record_step() { STEP_NAMES+=("$1"); STEP_RESULTS+=("$2"); }
+
+print_summary() {
+  local status=$?
+  echo
+  echo "=== ci summary ==="
+  printf '%-28s %s\n' "step" "result"
+  printf '%-28s %s\n' "----------------------------" "------------------"
+  local i
+  for i in "${!STEP_NAMES[@]}"; do
+    printf '%-28s %s\n' "${STEP_NAMES[$i]}" "${STEP_RESULTS[$i]}"
+  done
+  if [ "${status}" -eq 0 ]; then
+    echo "=== all blocking steps passed ==="
+  else
+    echo "=== CI FAILED (first failing step above) ==="
+  fi
+}
+trap print_summary EXIT
+
+# run_step NAME blocking|report CMD...: runs CMD, records the outcome.  A
+# blocking failure exits immediately (the summary still prints); a report
+# failure records WARN and continues.
+run_step() {
+  local name="$1" mode="$2"
+  shift 2
+  echo "=== ${name} ==="
+  if "$@"; then
+    record_step "${name}" PASS
+  elif [ "${mode}" = blocking ]; then
+    record_step "${name}" FAIL
+    exit 1
+  else
+    record_step "${name}" "WARN (non-gating)"
+  fi
+}
+
+skip_step() {
+  echo "=== ${1}: SKIPPED (${2}) ==="
+  record_step "$1" "SKIP (${2})"
+}
+
+# ---------------------------------------------------------------------------
+# Test tiers (unchanged shape: unit -> integration -> soak, each under its
+# own timeout, with a 5-slowest report per configuration).
 
 run_tier() {
   local dir="$1" label="$2" timeout="$3"
-  echo "=== test: ${dir} [${label}, timeout ${timeout}s] ==="
+  echo "--- test: ${dir} [${label}, timeout ${timeout}s] ---"
   ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" \
-    -L "${label}" --timeout "${timeout}" "${CTEST_ARGS[@]}"
-  # Each ctest invocation overwrites LastTest.log; accumulate the tiers
-  # so the slowest-test report covers the whole configuration.
+    -L "${label}" --timeout "${timeout}" "${CTEST_ARGS[@]}" || return 1
+  # Each ctest invocation overwrites LastTest.log; accumulate the tiers so
+  # the slowest-test report covers the whole configuration.
   cat "${dir}"/Testing/Temporary/LastTest.log >> \
     "${dir}"/Testing/Temporary/AllTiers.log 2>/dev/null || true
 }
 
-# The 5 slowest tests across all tiers of `dir`, from ctest's own timing
-# lines ("Testing: <name>" ... "Test time = <sec> sec").
 report_slowest() {
   local dir="$1"
   local log="${dir}/Testing/Temporary/AllTiers.log"
@@ -38,98 +101,209 @@ report_slowest() {
   rm -f "${log}"
 }
 
-run_config() {
+# configure_and_build DIR [cmake flags...] [-- target...]: flags go to the
+# configure step; everything after `--` narrows the build to those targets.
+configure_and_build() {
   local dir="$1"
   shift
-  echo "=== configure: ${dir} ($*) ==="
-  cmake -B "${dir}" -S . "$@"
-  echo "=== build: ${dir} ==="
-  cmake --build "${dir}" -j "${JOBS}"
-  run_tier "${dir}" unit 60
-  run_tier "${dir}" integration 300
-  run_tier "${dir}" soak 600
-  report_slowest "${dir}"
+  local flags=() targets=()
+  while [ $# -gt 0 ]; do
+    if [ "$1" = "--" ]; then
+      shift
+      targets=("$@")
+      break
+    fi
+    flags+=("$1")
+    shift
+  done
+  echo "--- configure: ${dir} (${flags[*]-}) ---"
+  cmake -B "${dir}" -S . "${flags[@]}" >/dev/null
+  echo "--- build: ${dir} ---"
+  if [ "${#targets[@]}" -gt 0 ]; then
+    cmake --build "${dir}" -j "${JOBS}" --target "${targets[@]}"
+  else
+    cmake --build "${dir}" -j "${JOBS}"
+  fi
 }
 
-CTEST_ARGS=("$@")
+run_tiers() {
+  local dir="$1"
+  run_tier "${dir}" unit 60 &&
+    run_tier "${dir}" integration 300 &&
+    run_tier "${dir}" soak 600
+  local rc=$?
+  report_slowest "${dir}"
+  return "${rc}"
+}
 
-run_config build
+# ---------------------------------------------------------------------------
+# Static analysis, layer 1: the project determinism linter (blocking).
+# Rules, allowlists, and the escape hatch are documented in tools/ttmqo_lint.
 
-# LeakSanitizer gates CI too: recurring events (maintenance beacons,
-# samplers) now live in the simulator's pooled slab instead of the old
-# self-referential shared_ptr<std::function> chains, so a leak report here
-# is a real leak, not a design artifact.
-run_config build-asan -DENABLE_SANITIZERS=ON
+lint_tree() {
+  python3 tools/ttmqo_lint 2>&1 | tee "${ARTIFACTS}/ttmqo_lint.log"
+}
+run_step "ttmqo_lint" blocking lint_tree
+
+# Static analysis, layer 2: clang-tidy over the compilation database.
+# Blocking when the tool exists; this needs the plain build configured
+# first, so the step runs right after that build below.
+find_clang_tidy() {
+  local c
+  for c in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 \
+           clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+    if command -v "${c}" >/dev/null 2>&1; then
+      echo "${c}"
+      return 0
+    fi
+  done
+  return 1
+}
+
+clang_tidy_step() {
+  local tidy="$1" dir="$2"
+  # The project's own translation units from the compilation database;
+  # system/third-party TUs never appear there because only this tree is
+  # compiled.
+  python3 - "${dir}/compile_commands.json" <<'EOF' > "${ARTIFACTS}/tidy-files.txt"
+import json, sys
+for entry in json.load(open(sys.argv[1])):
+    f = entry["file"]
+    if any(s in f for s in ("/src/", "/examples/", "/bench/", "/tests/")):
+        print(f)
+EOF
+  xargs -a "${ARTIFACTS}/tidy-files.txt" -P "${JOBS}" -n 4 \
+    "${tidy}" -p "${dir}" --quiet 2>&1 | tee "${ARTIFACTS}/clang-tidy.log"
+  # xargs exits non-zero if any invocation found (error-promoted) findings.
+}
+
+# Static analysis, layer 3: format diff (report-only by design — see
+# .clang-format; no tree-wide reformat has landed yet).
+format_diff() {
+  git ls-files '*.cc' '*.h' > "${ARTIFACTS}/format-files.txt"
+  xargs -a "${ARTIFACTS}/format-files.txt" clang-format --dry-run -Werror \
+    2>&1 | tee "${ARTIFACTS}/format-diff.log"
+}
+if command -v clang-format >/dev/null 2>&1; then
+  run_step "format-diff" report format_diff
+else
+  skip_step "format-diff" "clang-format not installed"
+fi
+
+# ---------------------------------------------------------------------------
+# Matrix leg 1: plain build (warnings are errors), all test tiers, then
+# clang-tidy against its compilation database.
+
+run_step "build (werror)" blocking \
+  configure_and_build build -DENABLE_WERROR=ON
+run_step "tests: build" blocking run_tiers build
+
+TIDY_BIN="$(find_clang_tidy || true)"
+if [ -n "${TIDY_BIN}" ]; then
+  run_step "clang-tidy" blocking clang_tidy_step "${TIDY_BIN}" build
+else
+  skip_step "clang-tidy" "no clang-tidy binary on this toolchain"
+fi
+
+# ---------------------------------------------------------------------------
+# Matrix leg 2: ASan+UBSan (LeakSanitizer gates too: recurring events live
+# in the simulator's pooled slab, so any leak report is a real leak).
+
+run_step "build-asan (werror)" blocking \
+  configure_and_build build-asan -DENABLE_SANITIZERS=ON -DENABLE_WERROR=ON
+run_step "tests: build-asan" blocking run_tiers build-asan
 
 # Chaos soak under the sanitizers: random transient outages plus link loss,
-# three seeds each; the binary exits non-zero on any reliability-invariant
-# violation (duplicate rows, missed recovery, completeness below the floor).
-# The flight recorder is armed: a violated invariant (or a crash) dumps the
-# last simulator events to ci-artifacts/postmortem/, kept as the failure
-# artifact.
-echo "=== chaos soak (sanitized) ==="
-POSTMORTEM_DIR="ci-artifacts/postmortem"
-rm -rf "${POSTMORTEM_DIR}"
-soak_failed=0
-./build-asan/bench/chaos_soak --runs=3 --seed=1 \
-  --postmortem-dir="${POSTMORTEM_DIR}" || soak_failed=1
-./build-asan/bench/chaos_soak --runs=3 --seed=1 --link-loss=0.1 --floor=0.4 \
-  --postmortem-dir="${POSTMORTEM_DIR}" || soak_failed=1
-if [ "${soak_failed}" -ne 0 ]; then
-  echo "chaos soak FAILED — postmortem dumps preserved in ${POSTMORTEM_DIR}:"
-  ls -l "${POSTMORTEM_DIR}" 2>/dev/null || true
-  exit 1
-fi
+# three seeds each; non-zero exit on any reliability-invariant violation.
+# The flight recorder dumps postmortems into the artifacts dir on failure.
+chaos_soak() {
+  local dir="${ARTIFACTS}/postmortem"
+  ./build-asan/bench/chaos_soak --runs=3 --seed=1 \
+    --postmortem-dir="${dir}" &&
+    ./build-asan/bench/chaos_soak --runs=3 --seed=1 --link-loss=0.1 \
+      --floor=0.4 --postmortem-dir="${dir}"
+  local rc=$?
+  if [ "${rc}" -ne 0 ]; then
+    echo "chaos soak FAILED — postmortem dumps preserved in ${dir}:"
+    ls -l "${dir}" 2>/dev/null || true
+  fi
+  return "${rc}"
+}
+run_step "chaos-soak (asan)" blocking chaos_soak
 
-# The sweep orchestrator's cross-thread determinism check: the same spec
-# at jobs=1 and jobs=hardware must produce byte-identical canonical
-# reports (run_sweep exits non-zero otherwise).
-echo "=== sweep determinism (sanitized) ==="
-./build-asan/examples/run_sweep \
-  --spec="grids=4 workloads=A,C modes=baseline,ttmqo seeds=1 duration-ms=49152" \
-  --bench-out=/tmp/ttmqo_sweep_ci.json
+# The sweep orchestrator's cross-thread determinism check: the same spec at
+# jobs=1 and jobs=hardware must produce byte-identical canonical reports.
+sweep_determinism() {
+  ./build-asan/examples/run_sweep \
+    --spec="grids=4 workloads=A,C modes=baseline,ttmqo seeds=1 duration-ms=49152" \
+    --bench-out=/tmp/ttmqo_sweep_ci.json
+}
+run_step "sweep-determinism (asan)" blocking sweep_determinism
 
-# Perf smoke: the hot-path benchmark (bench/hotpath) on an optimized build
-# with short durations.  Report-only — the printed events/sec makes perf
-# regressions visible in every CI log, but wall-clock numbers depend on
-# host load, so they do not gate the build.  (The allocation probe inside
-# is a correctness check and would exit non-zero, hence the fallback echo.)
-echo "=== perf smoke (Release, report-only) ==="
-cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build build-release -j "${JOBS}" --target hotpath
-./build-release/bench/hotpath \
-  --spec="grids=4,6 workloads=C modes=baseline,ttmqo seeds=1 duration-ms=49152 collisions=0.02" \
-  --dense-ms=5000 --probe-ms=5000 --out=/tmp/ttmqo_hotpath_ci.json ||
-  echo "perf smoke reported a problem (non-gating)"
+# ---------------------------------------------------------------------------
+# Matrix leg 3: Release — perf smoke (report-only; wall-clock numbers depend
+# on host load) and the observability-overhead gate (blocking at 3%).
 
-# Observability overhead gate (Release, GATING): the always-on spans must
-# cost at most 3% on the event-loop hot path against the same loop with
-# spans runtime-disabled.  The nospans variant (TTMQO_DISABLE_SPANS in its
-# translation unit) runs report-only and proves the macros compile to
-# nothing.
-echo "=== obs overhead (Release, gating at 3%) ==="
-cmake --build build-release -j "${JOBS}" --target obs_overhead obs_overhead_nospans
-./build-release/bench/obs_overhead --max-overhead=3 \
-  --window-ms=10000 --reps=3 --out=/tmp/ttmqo_obs_ci.json
-./build-release/bench/obs_overhead_nospans \
-  --window-ms=5000 --reps=2 --span-iters=500000 \
-  --out=/tmp/ttmqo_obs_nospans_ci.json ||
-  echo "nospans overhead run reported a problem (non-gating)"
+run_step "build-release" blocking \
+  configure_and_build build-release -DCMAKE_BUILD_TYPE=Release \
+  -- hotpath obs_overhead obs_overhead_nospans
 
-# ThreadSanitizer, report-only: the parallel sweep pool and the shared
-# CostModel counters (atomic since the parallel fig4) are the only
-# cross-thread surfaces; build just their drivers and let TSan watch them.
-# Report-only because TSan availability varies across toolchains/kernels.
-echo "=== thread sanitizer (report-only) ==="
-if cmake -B build-tsan -S . -DENABLE_TSAN=ON >/dev/null 2>&1 &&
-   cmake --build build-tsan -j "${JOBS}" \
-     --target sweep_determinism_test fig4_adaptive 2>&1 | tail -1; then
-  ./build-tsan/tests/sweep_determinism_test ||
-    echo "TSan: sweep_determinism_test reported races (non-gating)"
-  ./build-tsan/bench/fig4_adaptive --part=a --queries=120 --jobs=4 ||
-    echo "TSan: fig4_adaptive reported races (non-gating)"
+perf_smoke() {
+  ./build-release/bench/hotpath \
+    --spec="grids=4,6 workloads=C modes=baseline,ttmqo seeds=1 duration-ms=49152 collisions=0.02" \
+    --dense-ms=5000 --probe-ms=5000 --out=/tmp/ttmqo_hotpath_ci.json
+}
+run_step "perf-smoke (release)" report perf_smoke
+
+obs_overhead_gate() {
+  ./build-release/bench/obs_overhead --max-overhead=3 \
+    --window-ms=10000 --reps=3 --out=/tmp/ttmqo_obs_ci.json
+}
+run_step "obs-overhead (release)" blocking obs_overhead_gate
+
+obs_nospans() {
+  ./build-release/bench/obs_overhead_nospans \
+    --window-ms=5000 --reps=2 --span-iters=500000 \
+    --out=/tmp/ttmqo_obs_nospans_ci.json
+}
+run_step "obs-nospans (release)" report obs_nospans
+
+# ---------------------------------------------------------------------------
+# Matrix leg 4: ThreadSanitizer — BLOCKING.  The parallel sweep pool and the
+# shared CostModel counters (atomic since PR 6) are the cross-thread
+# surfaces; their drivers run under TSan and any reported race fails CI.  A
+# canary compile distinguishes "toolchain cannot TSan" (SKIP) from "the code
+# races" (FAIL), so the gate can never silently rot into report-only.
+
+tsan_canary() {
+  local probe
+  probe="$(mktemp -d)"
+  cat > "${probe}/t.cc" <<'EOF'
+#include <thread>
+int x;
+int main() { std::thread t([] { x = 1; }); t.join(); return x - 1; }
+EOF
+  local cxx="${CXX:-$(command -v c++ || command -v g++ || echo c++)}"
+  "${cxx}" -fsanitize=thread -O1 "${probe}/t.cc" -o "${probe}/t" \
+    >/dev/null 2>&1 && "${probe}/t" >/dev/null 2>&1
+  local rc=$?
+  rm -rf "${probe}"
+  return "${rc}"
+}
+
+tsan_run() {
+  mkdir -p "${ARTIFACTS}/tsan"
+  ./build-tsan/tests/sweep_determinism_test 2>&1 |
+    tee "${ARTIFACTS}/tsan/sweep_determinism_test.log" &&
+    ./build-tsan/bench/fig4_adaptive --part=a --queries=120 --jobs=4 2>&1 |
+      tee "${ARTIFACTS}/tsan/fig4_adaptive.log"
+}
+
+if tsan_canary; then
+  run_step "build-tsan (werror)" blocking \
+    configure_and_build build-tsan -DENABLE_TSAN=ON -DENABLE_WERROR=ON \
+    -- sweep_determinism_test fig4_adaptive
+  run_step "tsan: sweep pool + fig4" blocking tsan_run
 else
-  echo "TSan build unavailable on this toolchain (skipped)"
+  skip_step "tsan" "toolchain/kernel cannot run ThreadSanitizer"
 fi
-
-echo "=== all configurations passed ==="

@@ -451,10 +451,12 @@ SweepReport RunSweep(const SweepSpec& spec, unsigned jobs,
     }
   }
   PoolReport pool;
+  // Wall-clock feeds only the timing (non-canonical) report section.
+  // ttmqo-lint: allow(wall-clock): sweep timing metadata
   const auto start = std::chrono::steady_clock::now();
   std::vector<TimedRunResult> results = RunMany(units, jobs, &pool);
   const double wall_ms = std::chrono::duration<double, std::milli>(
-                             std::chrono::steady_clock::now() - start)
+                             std::chrono::steady_clock::now() - start)  // ttmqo-lint: allow(wall-clock): sweep timing
                              .count();
 
   SweepReport report;

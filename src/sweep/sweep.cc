@@ -78,14 +78,17 @@ std::vector<TimedRunResult> RunMany(const std::vector<RunUnit>& units,
   std::vector<WorkerStat> workers(n);
   for (unsigned w = 0; w < n; ++w) workers[w].worker = w;
 
+  // Wall-clock here feeds only the timing (non-canonical) report section,
+  // never the simulated results.
+  // ttmqo-lint: allow(wall-clock): pool timing metadata
   const auto pool_start = std::chrono::steady_clock::now();
   ParallelForWorkers(units.size(), jobs, [&](std::size_t i, unsigned worker) {
     TTMQO_SPAN("sweep.task");
-    const auto start = std::chrono::steady_clock::now();
+    const auto start = std::chrono::steady_clock::now();  // ttmqo-lint: allow(wall-clock): task timing
     results[i].run = RunExperiment(units[i].config, units[i].schedule);
     results[i].wall_ms =
         std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - start)
+            std::chrono::steady_clock::now() - start)  // ttmqo-lint: allow(wall-clock): task timing
             .count();
     // `workers[worker]` is touched only by the thread holding that index;
     // no synchronization needed.
@@ -94,7 +97,7 @@ std::vector<TimedRunResult> RunMany(const std::vector<RunUnit>& units,
   });
   if (pool != nullptr) {
     pool->wall_ms = std::chrono::duration<double, std::milli>(
-                        std::chrono::steady_clock::now() - pool_start)
+                        std::chrono::steady_clock::now() - pool_start)  // ttmqo-lint: allow(wall-clock): pool timing
                         .count();
     pool->workers = std::move(workers);
   }

@@ -45,8 +45,10 @@ class InlineCallable {
       ::new (static_cast<void*>(storage_)) Decayed(std::forward<F>(fn));
       ops_ = &kInlineOps<Decayed>;
     } else {
+      // Intentional heap fallback for captures that outgrow the inline
+      // buffer; hot-path captures static_assert kFitsInline instead.
       ::new (static_cast<void*>(storage_))
-          Decayed*(new Decayed(std::forward<F>(fn)));
+          Decayed*(new Decayed(std::forward<F>(fn)));  // ttmqo-lint: allow(raw-alloc): documented heap fallback
       ops_ = &kHeapOps<Decayed>;
     }
   }

@@ -91,8 +91,8 @@ INSTANTIATE_TEST_SUITE_P(
                       OptimizationMode::kBaseStationOnly,
                       OptimizationMode::kInNetworkOnly,
                       OptimizationMode::kTwoTier),
-    [](const ::testing::TestParamInfo<OptimizationMode>& info) {
-      switch (info.param) {
+    [](const ::testing::TestParamInfo<OptimizationMode>& param_info) {
+      switch (param_info.param) {
         case OptimizationMode::kBaseline:
           return "Baseline";
         case OptimizationMode::kBaseStationOnly:

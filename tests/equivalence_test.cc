@@ -51,9 +51,9 @@ INSTANTIATE_TEST_SUITE_P(
                           OptimizationMode::kInNetworkOnly,
                           OptimizationMode::kTwoTier),
         ::testing::Values(FieldKind::kUniform, FieldKind::kCorrelated)),
-    [](const ::testing::TestParamInfo<EquivalenceParam>& info) {
+    [](const ::testing::TestParamInfo<EquivalenceParam>& param_info) {
       std::string mode;
-      switch (std::get<1>(info.param)) {
+      switch (std::get<1>(param_info.param)) {
         case OptimizationMode::kBaseStationOnly:
           mode = "BsOnly";
           break;
@@ -64,8 +64,8 @@ INSTANTIATE_TEST_SUITE_P(
           mode = "TwoTier";
           break;
       }
-      return "Workload" + std::get<0>(info.param) + "_" + mode +
-             (std::get<2>(info.param) == FieldKind::kUniform ? "_Uniform"
+      return "Workload" + std::get<0>(param_info.param) + "_" + mode +
+             (std::get<2>(param_info.param) == FieldKind::kUniform ? "_Uniform"
                                                              : "_Correlated");
     });
 

@@ -2,8 +2,8 @@
 // served by different parents, "one multicast message is required to send
 // out the message to all these neighbors", each forwarding its own subset.
 //
-// Diamond topology:        BS(0,0)
-//                         /      \
+// Diamond topology:        BS(0,0)           (level 0)
+//                         /      \.
 //                     A(40,0)   B(0,40)      (level 1)
 //                         \      /
 //                         C(40,40)           (level 2, two parents)

@@ -63,9 +63,9 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(OptimizationMode::kBaseStationOnly,
                                          OptimizationMode::kInNetworkOnly,
                                          OptimizationMode::kTwoTier)),
-    [](const ::testing::TestParamInfo<SweepParam>& info) {
+    [](const ::testing::TestParamInfo<SweepParam>& param_info) {
       std::string mode;
-      switch (std::get<1>(info.param)) {
+      switch (std::get<1>(param_info.param)) {
         case OptimizationMode::kBaseStationOnly:
           mode = "BsOnly";
           break;
@@ -76,7 +76,7 @@ INSTANTIATE_TEST_SUITE_P(
           mode = "TwoTier";
           break;
       }
-      return "Seed" + std::to_string(std::get<0>(info.param)) + "_" + mode;
+      return "Seed" + std::to_string(std::get<0>(param_info.param)) + "_" + mode;
     });
 
 // Property pass driven through the sweep engine: 20 random workloads,

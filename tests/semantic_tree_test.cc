@@ -169,8 +169,8 @@ TEST_P(SrtEngineTest, ValueBasedQueriesStillFloodEverywhere) {
 }
 
 INSTANTIATE_TEST_SUITE_P(BothEngines, SrtEngineTest, ::testing::Bool(),
-                         [](const ::testing::TestParamInfo<bool>& info) {
-                           return info.param ? "InNetwork" : "TinyDb";
+                         [](const ::testing::TestParamInfo<bool>& param_info) {
+                           return param_info.param ? "InNetwork" : "TinyDb";
                          });
 
 }  // namespace

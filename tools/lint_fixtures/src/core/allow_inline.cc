@@ -1,0 +1,17 @@
+// Fixture: real violations, every one suppressed by the inline escape
+// hatch — on the offending line or the line directly above.  Must produce
+// zero findings.
+#include <chrono>
+#include <cstdlib>
+
+namespace fixture {
+
+double Suppressed() {
+  auto t = std::chrono::steady_clock::now();  // ttmqo-lint: allow(wall-clock): fixture
+  // ttmqo-lint: allow(wall-clock): fixture, annotation on the line above
+  int r = rand();
+  (void)t;
+  return static_cast<double>(r);
+}
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Fixture: a file that must produce zero findings.  Destructors that do
+// not throw, ordered containers, no ambient clocks.  The phrase
+// "steady_clock" in this comment and the string below must not count.
+#include <map>
+#include <set>
+#include <string>
+
+namespace fixture {
+
+struct Tidy {
+  ~Tidy() { cache_.clear(); }
+  std::map<std::string, int> cache_;
+  std::set<int> seen_;
+};
+
+inline const char* Describe() {
+  return "sim time only; no system_clock, no rand(), no getenv()";
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: both destructors below must trigger `throwing-dtor`.
+#include <stdexcept>
+
+namespace fixture {
+
+struct ThrowsInBody {
+  ~ThrowsInBody() {
+    if (fail_) {
+      throw std::runtime_error("destructor must not throw");
+    }
+  }
+  bool fail_ = false;
+};
+
+struct DeclaredThrowing {
+  ~DeclaredThrowing() noexcept(false);
+};
+
+}  // namespace fixture

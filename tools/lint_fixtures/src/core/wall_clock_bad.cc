@@ -1,0 +1,23 @@
+// Fixture: every line below must trigger the `wall-clock` rule.
+// Mentioning system_clock or rand() in this comment must NOT trigger it.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+namespace fixture {
+
+long Violations() {
+  auto a = std::chrono::system_clock::now();
+  auto b = std::chrono::steady_clock::now();
+  auto c = std::chrono::high_resolution_clock::now();
+  long d = time(NULL);
+  int e = rand();
+  srand(42);
+  const char* f = getenv("HOME");
+  (void)a; (void)b; (void)c; (void)e; (void)f;
+  const char* msg = "calling rand() in a string literal is fine";
+  (void)msg;
+  return d;
+}
+
+}  // namespace fixture

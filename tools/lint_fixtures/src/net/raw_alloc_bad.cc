@@ -1,0 +1,24 @@
+// Fixture: src/net is a hot-path glob, so the raw allocations below must
+// trigger `raw-alloc`; the placement new and the #include must not.
+#include <cstdlib>
+#include <new>
+
+namespace fixture {
+
+struct Event {
+  int payload;
+};
+
+void Violations() {
+  Event* a = new Event{1};
+  void* b = malloc(sizeof(Event));
+  void* c = calloc(1, sizeof(Event));
+  alignas(Event) unsigned char buf[sizeof(Event)];
+  Event* d = ::new (static_cast<void*>(buf)) Event{2};  // placement: fine
+  d->~Event();
+  delete a;
+  free(b);
+  free(c);
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: both declarations must trigger `unordered-container`.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+struct Report {
+  std::unordered_map<std::string, int> counters;
+  std::unordered_set<int> seen;
+};
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: contains a wall-clock violation but is listed in
+// allow/wall-clock.allow, so it must produce zero findings when the
+// fixture allowlist dir is passed (and one finding when it is not).
+#include <chrono>
+
+namespace fixture {
+
+inline auto Timestamp() { return std::chrono::steady_clock::now(); }
+
+}  // namespace fixture
