@@ -1,29 +1,40 @@
 // Chaos soak harness (robustness extension; the paper defers failures to
 // future work, Section 5).  Draws a seed-deterministic random fault plan —
 // transient outages on up to --down-frac of the sensors plus optional
-// uniform link loss — and runs the TinyDB baseline and the full two-tier
-// scheme (liveness failover + dissemination retries enabled) under the
+// uniform link loss — and runs the TinyDB baseline plus the two-tier
+// scheme under every reliability profile (off / harden / arq) under the
 // *same* plan, checking reliability invariants on every run:
 //
 //   1. no duplicate rows: the base station never reports one node twice in
 //      one (query, epoch) answer;
-//   2. accounting conservation: per-class message counts sum to the total
-//      and every scheduled outage both begins and recovers;
-//   3. completeness floor: the hardened two-tier scheme delivers at least
-//      --floor of the oracle-expected rows despite the chaos;
-//   4. no spurious link drops when no loss was injected.
+//   2. accounting conservation: per-class message counts (including the
+//      ARQ/repair control class) sum to the total and every scheduled
+//      outage both begins and recovers;
+//   3. completeness floors: the hardened profiles deliver at least --floor
+//      of the oracle-expected rows despite the chaos, and the arq profile
+//      averages at least --arq-floor;
+//   4. coverage annotation: the arq profile stamps a coverage fraction on
+//      every epoch result (a non-full epoch must never pass silently);
+//   5. no spurious link drops when no loss was injected.
 //
 // Exits non-zero on the first violated invariant, so the soak can gate CI.
 //
 // Usage: chaos_soak [--side=6] [--seed=7] [--runs=3] [--epochs=24]
 //                   [--outages=6] [--down-frac=0.2] [--link-loss=0.0]
-//                   [--floor=0.5] [--postmortem-dir=DIR]
+//                   [--floor=0.5] [--arq-floor=0.99] [--postmortem-dir=DIR]
+//                   [--bench-out=BENCH_reliability.json]
+//
+// With --bench-out the soak instead sweeps a link-loss axis across the
+// three profiles (single seed, same outage plan) and writes the delivery-
+// completeness / coverage / message-overhead matrix as a deterministic
+// JSON artifact — the data behind the EXPERIMENTS.md reliability figure.
 //
 // With --postmortem-dir the flight recorder is armed; every violated
 // invariant (and any fatal signal) dumps the last simulator events, fault
 // transitions, and engine decisions to a postmortem JSON in DIR — the
 // artifact CI attaches when the soak gate fails.
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -53,10 +64,104 @@ std::size_t DuplicateRows(const ResultLog& log) {
   return duplicates;
 }
 
+/// Epoch results the engine failed to stamp with a coverage fraction.
+std::size_t UnannotatedEpochs(const ResultLog& log) {
+  std::size_t unannotated = 0;
+  for (const EpochResult* r : log.All()) {
+    if (r->coverage < 0.0) ++unannotated;
+  }
+  return unannotated;
+}
+
 struct SoakOutcome {
   RunResult run;
   CountingObserver counts;
 };
+
+struct Cell {
+  OptimizationMode mode = OptimizationMode::kTwoTier;
+  ReliabilityProfile reliability = ReliabilityProfile::kOff;
+};
+
+SoakOutcome RunCell(const Cell& cell, std::size_t side, SimDuration duration,
+                    std::uint64_t seed, const FaultPlan& plan,
+                    const std::vector<WorkloadEvent>& schedule) {
+  SoakOutcome outcome;
+  RunConfig config;
+  config.grid_side = side;
+  config.mode = cell.mode;
+  config.duration_ms = duration;
+  config.seed = seed;
+  config.faults = plan;
+  config.reliability = cell.reliability;
+  config.obs.observers.push_back(&outcome.counts);
+  outcome.run = RunExperiment(config, schedule);
+  return outcome;
+}
+
+int WriteBenchArtifact(const std::string& path, std::size_t side,
+                       SimDuration duration, std::uint64_t seed,
+                       const RandomFaultParams& base_params,
+                       const std::vector<WorkloadEvent>& schedule) {
+  // The figure's axes: delivery completeness (and its cost in messages)
+  // vs link loss, one curve per reliability profile, identical outage
+  // plan and workload per loss level so profiles compare like-for-like.
+  const double losses[] = {0.0, 0.05, 0.1, 0.2};
+  const ReliabilityProfile profiles[] = {ReliabilityProfile::kOff,
+                                         ReliabilityProfile::kHarden,
+                                         ReliabilityProfile::kArq};
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open bench output: %s\n", path.c_str());
+    return 1;
+  }
+  out << "{\n";
+  out << "  \"bench\": \"reliability\",\n";
+  out << "  \"grid_side\": " << side << ",\n";
+  out << "  \"duration_ms\": " << duration << ",\n";
+  out << "  \"seed\": " << seed << ",\n";
+  out << "  \"cells\": [\n";
+  char buf[512];
+  bool first = true;
+  for (const double loss : losses) {
+    RandomFaultParams params = base_params;
+    params.link_loss = loss;
+    const FaultPlan plan =
+        FaultPlan::RandomTransient(params, side * side, duration, seed);
+    std::uint64_t off_messages = 0;
+    for (const ReliabilityProfile profile : profiles) {
+      const SoakOutcome outcome = RunCell({OptimizationMode::kTwoTier, profile},
+                                          side, duration, seed, plan, schedule);
+      const RunSummary& s = outcome.run.summary;
+      if (profile == ReliabilityProfile::kOff) off_messages = s.total_messages;
+      const double overhead =
+          off_messages == 0 ? 1.0
+                            : static_cast<double>(s.total_messages) /
+                                  static_cast<double>(off_messages);
+      std::snprintf(buf, sizeof(buf),
+                    "%s    {\"link_loss\": %.2f, \"reliability\": \"%s\", "
+                    "\"delivery_avg\": %.4f, \"delivery_min\": %.4f, "
+                    "\"coverage_avg\": %.4f, \"messages\": %llu, "
+                    "\"control_msgs\": %llu, \"overhead_x\": %.3f}",
+                    first ? "" : ",\n", loss,
+                    ReliabilityProfileName(profile).data(),
+                    s.AvgDeliveryCompleteness(), s.MinDeliveryCompleteness(),
+                    s.coverage.empty() ? -1.0 : s.AvgCoverage(),
+                    static_cast<unsigned long long>(s.total_messages),
+                    static_cast<unsigned long long>(s.control_messages),
+                    overhead);
+      out << buf;
+      first = false;
+      std::printf("bench: loss=%.2f %s delivery=%.1f%% messages=%llu\n",
+                  loss, ReliabilityProfileName(profile).data(),
+                  s.AvgDeliveryCompleteness() * 100,
+                  static_cast<unsigned long long>(s.total_messages));
+    }
+  }
+  out << "\n  ]\n}\n";
+  std::printf("wrote reliability bench artifact to %s\n", path.c_str());
+  return 0;
+}
 
 int Main(int argc, char** argv) {
   const Flags flags = Flags::Parse(argc, argv);
@@ -69,6 +174,8 @@ int Main(int argc, char** argv) {
   params.max_down_fraction = flags.GetDouble("down-frac", 0.2);
   params.link_loss = flags.GetDouble("link-loss", 0.0);
   const double floor = flags.GetDouble("floor", 0.5);
+  const double arq_floor = flags.GetDouble("arq-floor", 0.99);
+  const auto bench_out = flags.GetOptional("bench-out");
   obs::ObsSession obs_session(obs::ObsSession::FromFlags(flags));
   if (ReportUnreadFlags(flags)) return 2;
 
@@ -77,14 +184,19 @@ int Main(int argc, char** argv) {
       {ParseQuery(1, "SELECT light WHERE light > 400 EPOCH DURATION 4096"),
        ParseQuery(2, "SELECT MAX(temp) EPOCH DURATION 8192")});
 
+  if (bench_out.has_value()) {
+    return WriteBenchArtifact(*bench_out, side, duration, first_seed, params,
+                              schedule);
+  }
+
   std::printf("Chaos soak: %zux%zu grid, %lld ms, <=%zu outages "
               "(<=%.0f%% of sensors), link loss %.2f, %llu seed(s)\n\n",
               side, side, static_cast<long long>(duration),
               params.max_outages, params.max_down_fraction * 100,
               params.link_loss, static_cast<unsigned long long>(runs));
 
-  TablePrinter table({"seed", "outages", "mode", "completeness %",
-                      "dup rows", "link drops", "messages"});
+  TablePrinter table({"seed", "outages", "mode", "rel", "completeness %",
+                      "coverage %", "dup rows", "link drops", "messages"});
   int violations = 0;
   const auto violate = [&violations](const char* what, std::uint64_t seed) {
     std::fprintf(stderr, "INVARIANT VIOLATED (seed %llu): %s\n",
@@ -99,37 +211,28 @@ int Main(int argc, char** argv) {
     ++violations;
   };
 
+  const Cell cells[] = {
+      {OptimizationMode::kBaseline, ReliabilityProfile::kOff},
+      {OptimizationMode::kTwoTier, ReliabilityProfile::kOff},
+      {OptimizationMode::kTwoTier, ReliabilityProfile::kHarden},
+      {OptimizationMode::kTwoTier, ReliabilityProfile::kArq},
+  };
   for (std::uint64_t seed = first_seed; seed < first_seed + runs; ++seed) {
     const FaultPlan plan =
         FaultPlan::RandomTransient(params, side * side, duration, seed);
 
-    std::map<OptimizationMode, SoakOutcome> outcomes;
-    for (OptimizationMode mode :
-         {OptimizationMode::kBaseline, OptimizationMode::kTwoTier}) {
-      SoakOutcome& outcome = outcomes[mode];
-      RunConfig config;
-      config.grid_side = side;
-      config.mode = mode;
-      config.duration_ms = duration;
-      config.seed = seed;
-      config.faults = plan;
-      if (mode == OptimizationMode::kTwoTier) {
-        // The hardening under test: overheard-traffic liveness with parent
-        // blacklisting, and retried dissemination for nodes that were down
-        // when a query first flooded.
-        config.innet.liveness_timeout_ms = 2 * kEpoch;
-        config.innet.dissemination_retries = 2;
-      }
-      config.obs.observers.push_back(&outcome.counts);
-      outcome.run = RunExperiment(config, schedule);
-
+    for (const Cell& cell : cells) {
+      const SoakOutcome outcome =
+          RunCell(cell, side, duration, seed, plan, schedule);
       const RunResult& run = outcome.run;
       const CountingObserver& counts = outcome.counts;
+      const bool arq = cell.reliability == ReliabilityProfile::kArq;
       const std::size_t duplicates = DuplicateRows(run.results);
       if (duplicates > 0) violate("duplicate rows at the base station", seed);
       const std::uint64_t by_class =
           run.summary.result_messages + run.summary.propagation_messages +
-          run.summary.abort_messages + run.summary.maintenance_messages;
+          run.summary.abort_messages + run.summary.maintenance_messages +
+          run.summary.control_messages;
       if (by_class != run.summary.total_messages) {
         violate("per-class message counts do not sum to the total", seed);
       }
@@ -142,16 +245,30 @@ int Main(int argc, char** argv) {
       if (params.link_loss == 0.0 && counts.link_drops != 0) {
         violate("link drops without injected loss", seed);
       }
-      if (mode == OptimizationMode::kTwoTier &&
+      if (cell.mode == OptimizationMode::kTwoTier &&
+          cell.reliability != ReliabilityProfile::kOff &&
           run.summary.MinDeliveryCompleteness() < floor) {
-        violate("two-tier completeness below the floor", seed);
+        violate("hardened completeness below the floor", seed);
+      }
+      if (arq) {
+        if (run.summary.AvgDeliveryCompleteness() < arq_floor) {
+          violate("arq average completeness below the arq floor", seed);
+        }
+        if (UnannotatedEpochs(run.results) > 0) {
+          violate("arq epoch result without coverage annotation", seed);
+        }
       }
 
       table.AddRow({std::to_string(seed),
                     std::to_string(plan.outages().size()),
-                    std::string(OptimizationModeName(mode)),
+                    std::string(OptimizationModeName(cell.mode)),
+                    std::string(ReliabilityProfileName(cell.reliability)),
                     TablePrinter::Num(
                         run.summary.AvgDeliveryCompleteness() * 100, 1),
+                    run.summary.coverage.empty()
+                        ? "-"
+                        : TablePrinter::Num(run.summary.AvgCoverage() * 100,
+                                            1),
                     std::to_string(duplicates),
                     std::to_string(counts.link_drops),
                     std::to_string(run.summary.total_messages)});

@@ -214,8 +214,11 @@ run_step "build-asan (werror)" blocking \
 run_step "tests: build-asan" blocking run_tiers build-asan
 
 # Chaos soak under the sanitizers: random transient outages plus link loss,
-# three seeds each; non-zero exit on any reliability-invariant violation.
-# The flight recorder dumps postmortems into the artifacts dir on failure.
+# three seeds each, the full reliability matrix (baseline, and two-tier
+# under off/harden/arq) per seed; non-zero exit on any reliability-
+# invariant violation — including the arq completeness floor and the
+# every-epoch coverage-annotation check.  The flight recorder dumps
+# postmortems into the artifacts dir on failure.
 chaos_soak() {
   local dir="${ARTIFACTS}/postmortem"
   ./build-asan/bench/chaos_soak --runs=3 --seed=1 \
@@ -230,6 +233,16 @@ chaos_soak() {
   return "${rc}"
 }
 run_step "chaos-soak (asan)" blocking chaos_soak
+
+# The committed reliability bench artifact must match what the code
+# produces: regenerate the loss-axis x profile matrix and byte-compare.
+# Catches both nondeterminism and a stale BENCH_reliability.json.
+reliability_bench() {
+  ./build-asan/bench/chaos_soak --side=6 \
+    --bench-out="${ARTIFACTS}/BENCH_reliability.json" &&
+    diff -u BENCH_reliability.json "${ARTIFACTS}/BENCH_reliability.json"
+}
+run_step "reliability-bench (asan)" blocking reliability_bench
 
 # The sweep orchestrator's cross-thread determinism check: the same spec at
 # jobs=1 and jobs=hardware must produce byte-identical canonical reports.

@@ -14,6 +14,14 @@
 //   --link-loss=<p>            independent per-delivery loss on every link
 // The resolved fault plan is recorded under "fault_plan" in --metrics-out.
 //
+// Reliability:
+//   --reliability=off|harden|arq   named profile: "harden" bundles the
+//                          loss-hardening knobs (liveness failover,
+//                          dissemination re-floods, duplicate suppression);
+//                          "arq" adds the per-hop ack/retransmit transport
+//                          with base-station gap repair and per-epoch
+//                          coverage accounting.  Default: off.
+//
 // Observability outputs (all optional):
 //   --metrics-out=m.json   per-node/per-class counters, run gauges, and the
 //                          per-epoch time series as one JSON document
@@ -124,6 +132,17 @@ int main(int argc, char** argv) {
     config.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
     config.channel.collision_prob = flags.GetDouble("collisions", 0.02);
     config.alpha = flags.GetDouble("alpha", 0.6);
+    config.reliability =
+        ParseReliabilityProfile(flags.GetString("reliability", "off"));
+    // Deprecated per-feature aliases, superseded by --reliability=harden.
+    // Still parsed so existing scripts keep working, but intentionally
+    // absent from the help text above; a profile overrides them.
+    config.innet.liveness_timeout_ms = flags.GetInt(
+        "liveness-timeout-ms", config.innet.liveness_timeout_ms);
+    config.innet.dissemination_retries = static_cast<int>(flags.GetInt(
+        "dissem-retries", config.innet.dissemination_retries));
+    config.innet.duplicate_suppression = flags.GetBool(
+        "dup-suppress", config.innet.duplicate_suppression);
 
     // Fault injection.
     for (const std::string& spec : flags.GetAll("fail")) {
@@ -186,7 +205,8 @@ int main(int argc, char** argv) {
     const bool want_epochs = metrics_out.has_value() || epoch_csv.has_value();
 
     TablePrinter table({"mode", "avg tx %", "messages", "retx", "results",
-                        "avg net queries", "sleep %", "delivery %"});
+                        "avg net queries", "sleep %", "delivery %",
+                        "coverage %"});
     double baseline_tx = -1.0;
     for (OptimizationMode mode : modes) {
       config.mode = mode;
@@ -220,7 +240,10 @@ int main(int argc, char** argv) {
            TablePrinter::Num(run.avg_network_queries, 2),
            TablePrinter::Num(run.summary.avg_sleep_fraction * 100, 1),
            TablePrinter::Num(run.summary.AvgDeliveryCompleteness() * 100,
-                             1)});
+                             1),
+           run.summary.coverage.empty()
+               ? "-"
+               : TablePrinter::Num(run.summary.AvgCoverage() * 100, 1)});
       if (compare && mode == OptimizationMode::kTwoTier &&
           baseline_tx > 0) {
         std::printf("TTMQO saves %.1f%% of average transmission time\n\n",

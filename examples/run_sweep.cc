@@ -59,12 +59,12 @@ std::ofstream OpenOutput(const std::string& path) {
 }
 
 void PrintSummary(const SweepReport& report) {
-  TablePrinter table({"grid", "workload", "mode", "fault", "rep",
+  TablePrinter table({"grid", "workload", "mode", "fault", "rel", "rep",
                       "avg tx %", "messages", "results", "wall ms"});
   for (const SweepRow& row : report.rows) {
     table.AddRow(
         {std::to_string(row.grid_side), row.workload, row.mode, row.fault,
-         std::to_string(row.replicate),
+         row.reliability, std::to_string(row.replicate),
          TablePrinter::Num(row.run.summary.avg_transmission_fraction * 100.0,
                            4),
          std::to_string(row.run.summary.total_messages),

@@ -100,6 +100,12 @@ std::vector<EpochResult> MapSyntheticResult(const EpochResult& synthetic,
       results.push_back(MapAggregationSubset(synthetic, member));
     }
   }
+  // The synthetic query was the transport: its epoch coverage is the
+  // members' epoch coverage.
+  for (EpochResult& result : results) {
+    result.coverage = synthetic.coverage;
+    result.contributing_nodes = synthetic.contributing_nodes;
+  }
   return results;
 }
 

@@ -13,6 +13,15 @@ constexpr std::size_t kAbortPayloadBytes = 2;
 // Ticks and slots older than this are pruned from per-node bookkeeping.
 constexpr SimDuration kPruneHorizonMs = 32 * kMinEpochDurationMs;
 
+// A payload that survives an ARQ give-up is re-routed through fresh
+// parents at most this many times before the loss is accepted.
+constexpr int kMaxReroutes = 2;
+
+// A node stays in a query's expected-contributor set for this many epochs
+// after its last row.  Longer horizons repair deeper outages but NACK more
+// nodes whose readings merely drifted out of the predicate range.
+constexpr int kRepairHistoryEpochs = 3;
+
 void MergePartialVectors(std::vector<PartialAggregate>& into,
                          const std::vector<PartialAggregate>& from) {
   Check(into.size() == from.size(),
@@ -33,6 +42,24 @@ std::vector<QueryId> AllQueriesOf(
 
 }  // namespace
 
+void ApplyReliabilityProfile(ReliabilityProfile profile,
+                             InNetOptions& options) {
+  switch (profile) {
+    case ReliabilityProfile::kOff:
+      return;
+    case ReliabilityProfile::kArq:
+      options.arq.enabled = true;
+      [[fallthrough]];
+    case ReliabilityProfile::kHarden:
+      // The hardening bundle the chaos soak validates: liveness-driven
+      // parent failover, dissemination re-floods, duplicate suppression.
+      options.liveness_timeout_ms = 8192;
+      options.dissemination_retries = 2;
+      options.duplicate_suppression = true;
+      return;
+  }
+}
+
 InNetworkEngine::InNetworkEngine(Network& network, const FieldModel& field,
                                  ResultSink* sink, InNetOptions options)
     : network_(network),
@@ -43,11 +70,42 @@ InNetworkEngine::InNetworkEngine(Network& network, const FieldModel& field,
       srt_(network.topology(), tree_),
       levels_(network.topology()),
       nodes_(network.topology().size()) {
-  for (NodeId node : network_.topology().AllNodes()) {
-    network_.SetReceiver(node, [this, node](const Message& msg,
-                                            bool addressed) {
-      HandleMessage(node, msg, addressed);
+  if (options_.arq.enabled) {
+    arq_.emplace(network_, options_.arq);
+    arq_->SetQuarantineHook(
+        [this](NodeId self, NodeId neighbor, SimTime until) {
+          // The sink is exempt: routing away from the base station only
+          // adds hops, and every detour lands on this same last link
+          // anyway.  Quarantining it cascades into a rerouting storm.
+          if (neighbor == kBaseStationId) return;
+          // Feed the ARQ's flapping detection into the parent blacklist so
+          // route selection avoids the neighbor for the same horizon.
+          Suspicion& suspicion = nodes_[self].suspicion[neighbor];
+          suspicion.blacklisted_until =
+              std::max(suspicion.blacklisted_until, until);
+          if (trace_ != nullptr) {
+            EmitTrace(TraceEvent("tier2.quarantine")
+                          .With("node", static_cast<std::int64_t>(self))
+                          .With("neighbor",
+                                static_cast<std::int64_t>(neighbor))
+                          .With("until", until));
+          }
+        });
+    arq_->SetGiveUpHook([this](const ArqTransport::GiveUpInfo& info) {
+      OnArqGiveUp(info);
     });
+    for (NodeId node : network_.topology().AllNodes()) {
+      arq_->Attach(node, [this, node](const Message& msg, bool addressed) {
+        HandleMessage(node, msg, addressed);
+      });
+    }
+  } else {
+    for (NodeId node : network_.topology().AllNodes()) {
+      network_.SetReceiver(node, [this, node](const Message& msg,
+                                              bool addressed) {
+        HandleMessage(node, msg, addressed);
+      });
+    }
   }
 }
 
@@ -134,6 +192,9 @@ void InNetworkEngine::TerminateQuery(QueryId id) {
   it->second.terminated = true;
   it->second.rows.clear();
   it->second.partials.clear();
+  it->second.no_data.clear();
+  it->second.last_contributed.clear();
+  it->second.agg_counts.clear();
   nodes_[kBaseStationId].seen_abort.insert(id);
   if (trace_ != nullptr) {
     EmitTrace(TraceEvent("tier2.terminate")
@@ -326,6 +387,22 @@ void InNetworkEngine::HandleMessage(NodeId self, const Message& msg,
     }
     return;
   }
+
+  if (const auto* req =
+          dynamic_cast<const RepairRequestPayload*>(msg.payload.get())) {
+    if (!addressed || self == kBaseStationId) return;
+    if (network_.IsAsleep(self)) network_.SetAsleep(self, false);
+    HandleRepairRequest(self, *req);
+    return;
+  }
+
+  if (const auto* reply =
+          dynamic_cast<const RepairReplyPayload*>(msg.payload.get())) {
+    if (!addressed) return;
+    if (network_.IsAsleep(self)) network_.SetAsleep(self, false);
+    HandleRepairReply(self, msg, *reply);
+    return;
+  }
 }
 
 // -----------------------------------------------------------------------
@@ -452,6 +529,9 @@ void InNetworkEngine::OnTick(NodeId self, SimTime t) {
         own.row.Set(attr, sample.GetOrThrow(attr));
       }
       own.queries = matched_acq;
+      // Cache the matched reading so a gap-repair request for this tick
+      // can be answered from memory after the original send was lost.
+      if (arq_) state.own_rows[t] = own;
       if (options_.shared_messages) {
         state.row_buffer[t].push_back(std::move(own));
       } else {
@@ -484,6 +564,8 @@ void InNetworkEngine::OnTick(NodeId self, SimTime t) {
   std::erase_if(state.seen_rows, [horizon](const auto& key) {
     return std::get<1>(key) < horizon;
   });
+  std::erase_if(state.own_rows,
+                [horizon](const auto& e) { return e.first < horizon; });
 
   ScheduleTick(self);
 
@@ -555,7 +637,9 @@ std::map<NodeId, std::vector<QueryId>> InNetworkEngine::ChooseParents(
   // lost, which is the truth).
   std::vector<NodeId> upper;
   for (NodeId candidate : levels_.UpperNeighbors(self)) {
-    if (!network_.IsFailed(candidate) && !SuspectParent(self, candidate)) {
+    if (!network_.IsFailed(candidate) && !SuspectParent(self, candidate) &&
+        !(arq_ && candidate != kBaseStationId &&
+          arq_->IsQuarantined(self, candidate))) {
       upper.push_back(candidate);
     }
   }
@@ -642,8 +726,9 @@ void InNetworkEngine::SendRows(NodeId self, SimTime t,
       msg.destinations.push_back(dest);
     }
     msg.payload_bytes = SharedRowBytes(*payload);
+    const SimTime deadline = ResultDeadline(self, t, payload->dest_queries);
     msg.payload = std::move(payload);
-    network_.Send(std::move(msg));
+    ReliableSend(std::move(msg), deadline);
   }
 }
 
@@ -667,8 +752,299 @@ void InNetworkEngine::SendAgg(
     msg.destinations.push_back(dest);
   }
   msg.payload_bytes = SharedAggBytes(*payload);
+  const SimTime deadline = ResultDeadline(self, t, payload->dest_queries);
   msg.payload = std::move(payload);
-  network_.Send(std::move(msg));
+  ReliableSend(std::move(msg), deadline);
+}
+
+// -----------------------------------------------------------------------
+// Reliability: ARQ routing, give-up re-routes, gap repair
+// -----------------------------------------------------------------------
+
+void InNetworkEngine::ReliableSend(Message msg, SimTime deadline) {
+  if (arq_) {
+    arq_->Send(std::move(msg), deadline, current_reroute_);
+  } else {
+    network_.Send(std::move(msg));
+  }
+}
+
+SimTime InNetworkEngine::ResultDeadline(
+    NodeId self, SimTime t,
+    const std::map<NodeId, std::vector<QueryId>>& dest_queries) const {
+  // A result for tick t is useful until the earliest epoch close among the
+  // queries it serves.  Relays may carry queries they never installed
+  // (SRT-pruned); fall back to the shortest possible epoch for those.
+  const NodeState& state = nodes_[self];
+  SimDuration min_epoch = std::numeric_limits<SimDuration>::max();
+  bool any = false;
+  for (const auto& [dest, queries] : dest_queries) {
+    for (QueryId q : queries) {
+      const auto it = state.active.find(q);
+      if (it == state.active.end()) continue;
+      min_epoch = std::min(min_epoch, it->second.epoch());
+      any = true;
+    }
+  }
+  if (!any) min_epoch = kMinEpochDurationMs;
+  return t + min_epoch;
+}
+
+void InNetworkEngine::OnArqGiveUp(const ArqTransport::GiveUpInfo& info) {
+  if (info.reroutes >= kMaxReroutes) return;
+  if (network_.sim().Now() >= info.deadline) return;
+  if (network_.IsFailed(info.sender) || network_.IsDown(info.sender)) return;
+  if (trace_ != nullptr) {
+    EmitTrace(TraceEvent("tier2.arq_reroute")
+                  .With("node", static_cast<std::int64_t>(info.sender))
+                  .With("attempt",
+                        static_cast<std::int64_t>(info.reroutes + 1)));
+  }
+  current_reroute_ = info.reroutes + 1;
+  if (const auto* row =
+          dynamic_cast<const SharedRowPayload*>(info.inner.get())) {
+    // Keep only the (row, query) pairs whose destination never acked; the
+    // quarantine the give-up produced steers ChooseParents elsewhere.
+    std::set<QueryId> lost;
+    for (NodeId dest : info.unacked) {
+      const auto it = row->dest_queries.find(dest);
+      if (it == row->dest_queries.end()) continue;
+      lost.insert(it->second.begin(), it->second.end());
+    }
+    std::vector<RowEntry> entries;
+    for (const RowEntry& entry : row->entries) {
+      RowEntry kept;
+      kept.row = entry.row;
+      for (QueryId q : entry.queries) {
+        if (lost.contains(q)) kept.queries.push_back(q);
+      }
+      if (!kept.queries.empty()) entries.push_back(std::move(kept));
+    }
+    if (!entries.empty()) {
+      SendRows(info.sender, row->epoch_time, std::move(entries));
+    }
+  } else if (const auto* agg =
+                 dynamic_cast<const SharedAggPayload*>(info.inner.get())) {
+    std::set<QueryId> lost;
+    for (NodeId dest : info.unacked) {
+      const auto it = agg->dest_queries.find(dest);
+      if (it == agg->dest_queries.end()) continue;
+      lost.insert(it->second.begin(), it->second.end());
+    }
+    std::map<QueryId, std::vector<PartialAggregate>> partials;
+    for (const auto& [q, p] : agg->partials) {
+      if (lost.contains(q)) partials.emplace(q, p);
+    }
+    if (!partials.empty()) {
+      SendAgg(info.sender, agg->epoch_time, std::move(partials));
+    }
+  } else if (dynamic_cast<const RepairReplyPayload*>(info.inner.get()) !=
+             nullptr) {
+    // The quarantined hop is now avoided by ControlParent; try another.
+    ForwardRepairReply(
+        info.sender,
+        std::static_pointer_cast<const RepairReplyPayload>(info.inner));
+  }
+  // Repair *requests* are not re-routed: the fixed tree is the only path
+  // that reaches a child's subtree, so an unreachable child simply stays
+  // unaccounted this epoch — which is what coverage reports.
+  current_reroute_ = 0;
+}
+
+NodeId InNetworkEngine::NextHopDown(NodeId from, NodeId target) const {
+  NodeId hop = target;
+  while (hop != kBaseStationId && tree_.ParentOf(hop) != from) {
+    hop = tree_.ParentOf(hop);
+  }
+  return hop;  // kBaseStationId when target is not below `from`
+}
+
+NodeId InNetworkEngine::ControlParent(NodeId self) {
+  // Control traffic climbs the fixed tree unless the tree parent is dead
+  // or quarantined; then the least-suspect upper-level neighbor takes over.
+  const NodeId tree_parent = tree_.ParentOf(self);
+  auto usable = [&](NodeId candidate) {
+    return !network_.IsFailed(candidate) && !SuspectParent(self, candidate) &&
+           !(arq_ && candidate != kBaseStationId &&
+             arq_->IsQuarantined(self, candidate));
+  };
+  if (usable(tree_parent)) return tree_parent;
+  NodeId best = tree_parent;
+  double best_quality = -1.0;
+  for (NodeId candidate : levels_.UpperNeighbors(self)) {
+    if (!usable(candidate)) continue;
+    const double quality = network_.link_quality().Quality(self, candidate);
+    if (quality > best_quality) {
+      best = candidate;
+      best_quality = quality;
+    }
+  }
+  return best;
+}
+
+void InNetworkEngine::RepairCheck(QueryId id, SimTime epoch_time) {
+  const auto it = bs_queries_.find(id);
+  if (it == bs_queries_.end() || it->second.terminated || !arq_) return;
+  const BsQueryState& state = it->second;
+  if (epoch_time <= state.closed_through) return;
+  const auto rows_it = state.rows.find(epoch_time);
+  const auto nd_it = state.no_data.find(epoch_time);
+  // Missing = recent contributors that are silent this epoch.  The learned
+  // expectation keeps the NACK fan-out proportional to actual losses; a
+  // node whose reading drifted out of the predicate range answers one
+  // "no data" and ages out of the set after kRepairHistoryEpochs.
+  const SimTime horizon =
+      epoch_time - kRepairHistoryEpochs * state.query.epoch();
+  std::vector<NodeId> missing;
+  for (const auto& [node, last] : state.last_contributed) {
+    if (last < horizon) continue;
+    if (network_.IsFailed(node)) continue;
+    if (rows_it != state.rows.end() && rows_it->second.contains(node)) {
+      continue;
+    }
+    if (nd_it != state.no_data.end() && nd_it->second.contains(node)) {
+      continue;
+    }
+    missing.push_back(node);
+  }
+  if (missing.empty()) return;
+  if (trace_ != nullptr) {
+    EmitTrace(TraceEvent("tier2.repair_check")
+                  .With("query", static_cast<std::int64_t>(id))
+                  .With("epoch_t", epoch_time)
+                  .With("missing",
+                        static_cast<std::int64_t>(missing.size())));
+  }
+  // NACK down the fixed tree, one request per first-hop subtree.
+  std::map<NodeId, std::vector<NodeId>> by_child;
+  for (NodeId node : missing) {
+    const NodeId child = NextHopDown(kBaseStationId, node);
+    if (child == kBaseStationId) continue;
+    by_child[child].push_back(node);
+  }
+  const SimTime deadline = epoch_time + state.query.epoch();
+  for (auto& [child, targets] : by_child) {
+    if (network_.IsFailed(child)) continue;
+    SendRepairRequest(kBaseStationId, child, id, epoch_time, deadline,
+                      std::move(targets));
+  }
+}
+
+void InNetworkEngine::SendRepairRequest(NodeId from, NodeId to, QueryId id,
+                                        SimTime epoch_time, SimTime deadline,
+                                        std::vector<NodeId> targets) {
+  ++repair_requests_;
+  auto payload = std::make_shared<RepairRequestPayload>();
+  payload->query = id;
+  payload->epoch_time = epoch_time;
+  payload->deadline = deadline;
+  payload->targets = std::move(targets);
+
+  Message msg;
+  msg.cls = MessageClass::kControl;
+  msg.mode = AddressMode::kUnicast;
+  msg.sender = from;
+  msg.destinations.push_back(to);
+  msg.payload_bytes = RepairRequestBytes(*payload);
+  msg.payload = std::move(payload);
+  if (network_.IsAsleep(from)) network_.SetAsleep(from, false);
+  ReliableSend(std::move(msg), deadline);
+}
+
+void InNetworkEngine::HandleRepairRequest(NodeId self,
+                                          const RepairRequestPayload& req) {
+  if (network_.sim().Now() >= req.deadline) return;  // epoch already closed
+  std::vector<NodeId> rest;
+  bool mine = false;
+  for (NodeId target : req.targets) {
+    if (target == self) {
+      mine = true;
+    } else {
+      rest.push_back(target);
+    }
+  }
+  if (mine) SendRepairReply(self, req.query, req.epoch_time, req.deadline);
+  if (rest.empty()) return;
+  // Pass the remaining targets further down, grouped by own tree child.
+  std::map<NodeId, std::vector<NodeId>> by_child;
+  for (NodeId target : rest) {
+    const NodeId child = NextHopDown(self, target);
+    if (child == kBaseStationId) continue;  // not below us: mis-routed, drop
+    by_child[child].push_back(target);
+  }
+  for (auto& [child, targets] : by_child) {
+    if (network_.IsFailed(child)) continue;
+    SendRepairRequest(self, child, req.query, req.epoch_time, req.deadline,
+                      std::move(targets));
+  }
+}
+
+void InNetworkEngine::SendRepairReply(NodeId self, QueryId id,
+                                      SimTime epoch_time, SimTime deadline) {
+  const NodeState& state = nodes_[self];
+  auto payload = std::make_shared<RepairReplyPayload>();
+  payload->query = id;
+  payload->epoch_time = epoch_time;
+  payload->deadline = deadline;
+  payload->node = self;
+  // "No data" is only meaningful when the node actually knew the query at
+  // some point; a node that missed the dissemination cannot vouch for the
+  // epoch and stays uncovered.
+  payload->knows_query = state.active.contains(id) ||
+                         state.seen_abort.contains(id) ||
+                         state.prop_round.contains(id);
+  const auto row_it = state.own_rows.find(epoch_time);
+  if (row_it != state.own_rows.end() &&
+      std::find(row_it->second.queries.begin(), row_it->second.queries.end(),
+                id) != row_it->second.queries.end()) {
+    payload->has_row = true;
+    payload->row = row_it->second.row;
+  }
+  ForwardRepairReply(self, std::move(payload));
+}
+
+void InNetworkEngine::ForwardRepairReply(
+    NodeId self, std::shared_ptr<const RepairReplyPayload> reply) {
+  if (network_.sim().Now() >= reply->deadline) return;
+  Message msg;
+  msg.cls = MessageClass::kControl;
+  msg.mode = AddressMode::kUnicast;
+  msg.sender = self;
+  msg.destinations.push_back(ControlParent(self));
+  msg.payload_bytes = RepairReplyBytes(*reply);
+  const SimTime deadline = reply->deadline;
+  msg.payload = std::move(reply);
+  if (network_.IsAsleep(self)) network_.SetAsleep(self, false);
+  ReliableSend(std::move(msg), deadline);
+}
+
+void InNetworkEngine::HandleRepairReply(NodeId self, const Message& msg,
+                                        const RepairReplyPayload& reply) {
+  if (self != kBaseStationId) {
+    // Relay one hop further up; reuse the payload we already hold.
+    ForwardRepairReply(
+        self, std::static_pointer_cast<const RepairReplyPayload>(msg.payload));
+    return;
+  }
+  auto it = bs_queries_.find(reply.query);
+  if (it == bs_queries_.end() || it->second.terminated) return;
+  BsQueryState& state = it->second;
+  if (reply.epoch_time <= state.closed_through) {
+    ++late_drops_;
+    return;
+  }
+  ++repair_replies_;
+  if (reply.has_row) {
+    if (!state.rows[reply.epoch_time]
+             .try_emplace(reply.node, reply.row)
+             .second) {
+      ++duplicates_suppressed_;
+    }
+    SimTime& last = state.last_contributed[reply.node];
+    last = std::max(last, reply.epoch_time);
+  } else if (reply.knows_query) {
+    state.no_data[reply.epoch_time].insert(reply.node);
+  }
 }
 
 void InNetworkEngine::NoteAlive(NodeId self, NodeId sender) {
@@ -679,14 +1055,16 @@ void InNetworkEngine::NoteAlive(NodeId self, NodeId sender) {
 }
 
 bool InNetworkEngine::SuspectParent(NodeId self, NodeId candidate) {
-  if (options_.liveness_timeout_ms <= 0) return false;
   NodeState& state = nodes_[self];
   const SimTime now = network_.sim().Now();
+  // An existing blacklist entry applies even without liveness tracking:
+  // the ARQ quarantine hook writes here too.
   const auto susp_it = state.suspicion.find(candidate);
   if (susp_it != state.suspicion.end() &&
       now < susp_it->second.blacklisted_until) {
     return true;
   }
+  if (options_.liveness_timeout_ms <= 0) return false;
   const auto heard_it = state.last_heard.find(candidate);
   const SimTime last = heard_it != state.last_heard.end() ? heard_it->second
                                                           : 0;
@@ -754,12 +1132,24 @@ void InNetworkEngine::BsAccept(const Message& msg) {
         }
         auto bs_it = bs_queries_.find(q);
         if (bs_it == bs_queries_.end() || bs_it->second.terminated) continue;
+        // Epochs at or before the watermark are closed: the answer left
+        // the station already, so the row is dropped instead of leaking
+        // into the per-epoch map forever.
+        if (row->epoch_time <= bs_it->second.closed_through) {
+          ++late_drops_;
+          continue;
+        }
         // At most one row per (query, epoch, source): duplicate deliveries
         // (e.g. a relay re-sending after an ambiguous loss) are dropped.
         if (!bs_it->second.rows[row->epoch_time]
                  .try_emplace(entry.row.node(), entry.row)
                  .second) {
           ++duplicates_suppressed_;
+        }
+        if (arq_) {
+          SimTime& last =
+              bs_it->second.last_contributed[entry.row.node()];
+          last = std::max(last, row->epoch_time);
         }
       }
     }
@@ -772,6 +1162,10 @@ void InNetworkEngine::BsAccept(const Message& msg) {
     for (QueryId q : it->second) {
       auto bs_it = bs_queries_.find(q);
       if (bs_it == bs_queries_.end() || bs_it->second.terminated) continue;
+      if (agg->epoch_time <= bs_it->second.closed_through) {
+        ++late_drops_;
+        continue;
+      }
       const auto part_it = agg->partials.find(q);
       if (part_it == agg->partials.end()) continue;
       auto& buffer = bs_it->second.partials[agg->epoch_time];
@@ -790,6 +1184,16 @@ void InNetworkEngine::ScheduleEpochClose(QueryId id, SimTime epoch_time) {
   network_.sim().ScheduleAt(
       epoch_time + it->second.query.epoch(),
       [this, id, epoch_time]() { CloseEpoch(id, epoch_time); });
+  // Gap repair (arq profile, acquisition only): halfway through the epoch
+  // the regular deliveries are in; NACK whoever is still unaccounted while
+  // there is time for a repair round trip before the close.  Aggregation
+  // queries get no repair — re-injecting a partial into the in-network
+  // merge could double-count — only coverage annotation.
+  if (arq_ && it->second.query.kind() == QueryKind::kAcquisition) {
+    network_.sim().ScheduleAt(
+        epoch_time + it->second.query.epoch() / 2,
+        [this, id, epoch_time]() { RepairCheck(id, epoch_time); });
+  }
 }
 
 void InNetworkEngine::CloseEpoch(QueryId id, SimTime epoch_time) {
@@ -801,6 +1205,7 @@ void InNetworkEngine::CloseEpoch(QueryId id, SimTime epoch_time) {
   result.query = id;
   result.epoch_time = epoch_time;
   result.kind = state.query.kind();
+  int contributing = 0;
   if (state.query.kind() == QueryKind::kAcquisition) {
     auto rows_it = state.rows.find(epoch_time);
     if (rows_it != state.rows.end()) {
@@ -815,15 +1220,13 @@ void InNetworkEngine::CloseEpoch(QueryId id, SimTime epoch_time) {
         }
         result.rows.push_back(std::move(projected));
       }
-      state.rows.erase(rows_it);
     }
+    contributing = static_cast<int>(result.rows.size());
   } else {
     std::vector<PartialAggregate> merged;
     auto agg_it = state.partials.find(epoch_time);
-    if (agg_it != state.partials.end()) {
-      merged = std::move(agg_it->second);
-      state.partials.erase(agg_it);
-    }
+    if (agg_it != state.partials.end()) merged = std::move(agg_it->second);
+    if (!merged.empty()) contributing = static_cast<int>(merged.front().count());
     for (std::size_t i = 0; i < state.query.aggregates().size(); ++i) {
       const AggregateSpec& spec = state.query.aggregates()[i];
       if (i < merged.size()) {
@@ -834,6 +1237,61 @@ void InNetworkEngine::CloseEpoch(QueryId id, SimTime epoch_time) {
       }
     }
   }
+  if (arq_) {
+    // Coverage: how much of the *learned* expected contributor set is
+    // accounted for — by data or by a repair-affirmed "no data".  The
+    // expectation is the recent-contributor history (the SRT install set
+    // overestimates wildly under selective predicates), so the very first
+    // epoch reports full coverage and losses show up from the second on.
+    const SimTime horizon =
+        epoch_time - kRepairHistoryEpochs * state.query.epoch();
+    result.contributing_nodes = contributing;
+    if (state.query.kind() == QueryKind::kAcquisition) {
+      int expected_alive = 0;
+      for (const auto& [node, last] : state.last_contributed) {
+        if (last >= horizon && !network_.IsFailed(node)) ++expected_alive;
+      }
+      int accounted = contributing;
+      const auto nd_it = state.no_data.find(epoch_time);
+      if (nd_it != state.no_data.end()) {
+        accounted += static_cast<int>(nd_it->second.size());
+      }
+      result.coverage =
+          expected_alive == 0
+              ? 1.0
+              : std::min(1.0, static_cast<double>(accounted) /
+                                  static_cast<double>(expected_alive));
+      // Age out nodes whose last row fell off the horizon so the ledger
+      // tracks the active contributor set, not all-time history.
+      std::erase_if(state.last_contributed,
+                    [horizon](const auto& e) { return e.second < horizon; });
+    } else {
+      // Aggregation has no per-node rows; the expectation is the largest
+      // recent contributor count (aggregates get no gap repair — merging
+      // a repaired partial could double-count — only the annotation).
+      std::int64_t expected = contributing;
+      for (const auto& [t, count] : state.agg_counts) {
+        if (t >= horizon) expected = std::max(expected, count);
+      }
+      result.coverage =
+          expected == 0
+              ? 1.0
+              : std::min(1.0, static_cast<double>(contributing) /
+                                  static_cast<double>(expected));
+      state.agg_counts[epoch_time] = contributing;
+      state.agg_counts.erase(state.agg_counts.begin(),
+                             state.agg_counts.lower_bound(horizon));
+    }
+  }
+  // Advance the watermark and drop everything at or before it: closed
+  // epochs can never reach the user again, so the per-epoch ledgers stay
+  // bounded even when stragglers keep trickling in.
+  state.closed_through = std::max(state.closed_through, epoch_time);
+  state.rows.erase(state.rows.begin(), state.rows.upper_bound(epoch_time));
+  state.partials.erase(state.partials.begin(),
+                       state.partials.upper_bound(epoch_time));
+  state.no_data.erase(state.no_data.begin(),
+                      state.no_data.upper_bound(epoch_time));
   if (trace_ != nullptr) {
     EmitTrace(TraceEvent("tier2.epoch_close")
                   .With("query", static_cast<std::int64_t>(id))

@@ -26,6 +26,7 @@
 
 #include <limits>
 #include <map>
+#include <optional>
 #include <set>
 #include <tuple>
 #include <vector>
@@ -33,6 +34,8 @@
 #include "core/innet/payloads.h"
 #include "net/network.h"
 #include "query/engine.h"
+#include "reliable/arq.h"
+#include "reliable/profile.h"
 #include "routing/routing_tree.h"
 #include "routing/semantic_tree.h"
 #include "sensing/field_model.h"
@@ -82,7 +85,20 @@ struct InNetOptions {
   /// Suppress duplicate (query, epoch, source) rows at relays and the base
   /// station.
   bool duplicate_suppression = true;
+  /// Per-hop ARQ transport (acks, retransmits, quarantine) plus the
+  /// base-station epoch ledger with NACK-driven gap repair and coverage
+  /// annotation.  Off by default; `--reliability=arq` turns it on.
+  ArqOptions arq;
 };
+
+/// Applies a named reliability profile on top of `options`:
+///  * kOff     — leaves everything untouched (the golden-pinned default).
+///  * kHarden  — the loss-hardening bundle proven out by the chaos soak:
+///               liveness failover, dissemination re-floods, duplicate
+///               suppression.
+///  * kArq     — kHarden plus the per-hop ARQ transport and base-station
+///               gap repair.
+void ApplyReliabilityProfile(ReliabilityProfile profile, InNetOptions& options);
 
 /// The tier-2 engine.  API mirrors `TinyDbEngine`.
 class InNetworkEngine final : public QueryEngine {
@@ -110,6 +126,19 @@ class InNetworkEngine final : public QueryEngine {
   std::uint64_t duplicates_suppressed() const {
     return duplicates_suppressed_;
   }
+
+  /// Deliveries for already-closed epochs dropped at the base station by
+  /// the `closed_through` watermark (keeps the epoch ledger bounded).
+  std::uint64_t late_drops() const { return late_drops_; }
+
+  /// Gap-repair requests the base station issued (arq profile only).
+  std::uint64_t repair_requests() const { return repair_requests_; }
+
+  /// Gap-repair replies accepted at the base station (arq profile only).
+  std::uint64_t repair_replies() const { return repair_replies_; }
+
+  /// The ARQ transport, or nullptr when the run does not use one.
+  const ArqTransport* arq() const { return arq_ ? &*arq_ : nullptr; }
 
  private:
   /// Liveness suspicion of one parent candidate.
@@ -149,6 +178,9 @@ class InNetworkEngine final : public QueryEngine {
     /// (query, epoch, source) row keys already relayed (duplicate
     /// suppression); pruned with the per-tick horizon.
     std::set<std::tuple<QueryId, SimTime, NodeId>> seen_rows;
+    /// The node's own matched reading per tick, cached for gap-repair
+    /// replies (arq profile only); pruned with the per-tick horizon.
+    std::map<SimTime, RowEntry> own_rows;
   };
 
   struct BsQueryState {
@@ -159,6 +191,21 @@ class InNetworkEngine final : public QueryEngine {
     /// (duplicate deliveries are dropped on arrival).
     std::map<SimTime, std::map<NodeId, Reading>> rows;
     std::map<SimTime, std::vector<PartialAggregate>> partials;
+    /// Coverage ledger (arq profile only).  The expectation is *learned*:
+    /// a node is expected to contribute to an epoch iff it contributed to
+    /// one of the last few epochs (selective predicates make the install
+    /// set a wild overestimate — most installed nodes legitimately have no
+    /// matching row, and NACKing them every epoch congests the network).
+    /// `last_contributed` records each node's most recent row epoch;
+    /// `agg_counts` is the analogous recent-contributor-count history for
+    /// aggregation queries (which have no per-node rows); `no_data` holds,
+    /// per epoch, the nodes that affirmed "no data" through gap repair.
+    std::map<NodeId, SimTime> last_contributed;
+    std::map<SimTime, std::int64_t> agg_counts;
+    std::map<SimTime, std::set<NodeId>> no_data;
+    /// Watermark: epochs at or before this are closed; late deliveries for
+    /// them are dropped so the per-epoch maps stay bounded.
+    SimTime closed_through = std::numeric_limits<SimTime>::min();
   };
 
   // --- node-side -------------------------------------------------------
@@ -192,6 +239,38 @@ class InNetworkEngine final : public QueryEngine {
   SimDuration SourceJitter(NodeId node) const;
   SimDuration SlotOffset(NodeId node) const;
 
+  // --- reliability (arq profile) ----------------------------------------
+  /// Routes `msg` through the ARQ transport when one is attached (with the
+  /// epoch cutoff as the retry deadline), directly otherwise.
+  void ReliableSend(Message msg, SimTime deadline);
+  /// Retry deadline of a result message for tick `t`: the earliest epoch
+  /// close among the queries it serves.
+  SimTime ResultDeadline(NodeId self, SimTime t,
+                         const std::map<NodeId, std::vector<QueryId>>&
+                             dest_queries) const;
+  /// A reliable send exhausted its budget: re-route the surviving payload
+  /// through fresh parents (bounded re-route chain).
+  void OnArqGiveUp(const ArqTransport::GiveUpInfo& info);
+  /// The fixed-tree child of `from` that leads to `target`, or
+  /// kBaseStationId when `target` is not below `from`.
+  NodeId NextHopDown(NodeId from, NodeId target) const;
+  /// Base station: find epoch contributors still unaccounted halfway
+  /// through the epoch and NACK them down the routing tree.
+  void RepairCheck(QueryId id, SimTime epoch_time);
+  void SendRepairRequest(NodeId from, NodeId to, QueryId id,
+                         SimTime epoch_time, SimTime deadline,
+                         std::vector<NodeId> targets);
+  void HandleRepairRequest(NodeId self, const RepairRequestPayload& req);
+  /// Sends `self`'s answer for (query, epoch) one hop up the tree.
+  void SendRepairReply(NodeId self, QueryId id, SimTime epoch_time,
+                       SimTime deadline);
+  void ForwardRepairReply(NodeId self,
+                          std::shared_ptr<const RepairReplyPayload> reply);
+  void HandleRepairReply(NodeId self, const Message& msg,
+                         const RepairReplyPayload& reply);
+  /// The least-suspect upper-level neighbor for control traffic.
+  NodeId ControlParent(NodeId self);
+
   // --- base-station-side -----------------------------------------------
   void BsAccept(const Message& msg);
   void ScheduleEpochClose(QueryId id, SimTime epoch_time);
@@ -210,7 +289,15 @@ class InNetworkEngine final : public QueryEngine {
   LevelGraph levels_;
   std::vector<NodeState> nodes_;
   std::map<QueryId, BsQueryState> bs_queries_;
+  /// Present only under the arq profile; the off/harden paths talk to the
+  /// network directly and stay byte-identical to the pinned goldens.
+  std::optional<ArqTransport> arq_;
+  /// Re-route depth of the send currently in flight (give-up chains cap).
+  int current_reroute_ = 0;
   std::uint64_t duplicates_suppressed_ = 0;
+  std::uint64_t late_drops_ = 0;
+  std::uint64_t repair_requests_ = 0;
+  std::uint64_t repair_replies_ = 0;
 };
 
 }  // namespace ttmqo

@@ -33,6 +33,23 @@ std::size_t MulticastOverhead(
 
 }  // namespace
 
+std::size_t RepairRequestBytes(const RepairRequestPayload& payload) {
+  // Query id (2) + epoch tag (2) + deadline delta (2) + target list.
+  return 6 + 2 * payload.targets.size();
+}
+
+std::size_t RepairReplyBytes(const RepairReplyPayload& payload) {
+  // Query id (2) + epoch tag (2) + node id (2) + flags (1).
+  std::size_t bytes = 7;
+  if (payload.has_row) {
+    for (Attribute attr : kAllAttributes) {
+      if (attr == Attribute::kNodeId) continue;
+      if (payload.row.Has(attr)) bytes += AttributeSizeBytes(attr);
+    }
+  }
+  return bytes;
+}
+
 std::size_t SharedRowBytes(const SharedRowPayload& payload) {
   std::size_t bytes = kSharedEnvelopeBytes;
   bytes += 2 * QueryCount(payload.dest_queries);  // query id list

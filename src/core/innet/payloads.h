@@ -65,6 +65,42 @@ struct SharedAggPayload final : Payload {
   std::map<NodeId, std::vector<QueryId>> dest_queries;
 };
 
+/// Base-station NACK: "I am missing the epoch contributions of `targets`
+/// for (`query`, `epoch_time`) — report before `deadline`".  Travels down
+/// the routing tree hop by hop (each relay keeps its own subtree's targets
+/// and forwards the rest), ARQ-protected, as `MessageClass::kControl`.
+struct RepairRequestPayload final : Payload {
+  QueryId query = kInvalidQueryId;
+  SimTime epoch_time = 0;
+  /// Epoch close time at the base station; replies past it are pointless.
+  SimTime deadline = 0;
+  std::vector<NodeId> targets;
+};
+
+/// A node's answer to a gap-repair request, forwarded up the routing tree
+/// to the base station.  Either re-delivers the cached epoch row or
+/// affirms "no data" — both make the node *accounted* in the base
+/// station's coverage ledger.
+struct RepairReplyPayload final : Payload {
+  QueryId query = kInvalidQueryId;
+  SimTime epoch_time = 0;
+  SimTime deadline = 0;
+  NodeId node = 0;
+  /// False when the node never heard of the query (missed dissemination):
+  /// the base station then leaves it uncovered instead of trusting a
+  /// meaningless "no data".
+  bool knows_query = false;
+  bool has_row = false;
+  /// Valid when `has_row`.
+  Reading row;
+};
+
+/// Serialized size of a gap-repair request.
+std::size_t RepairRequestBytes(const RepairRequestPayload& payload);
+
+/// Serialized size of a gap-repair reply.
+std::size_t RepairReplyBytes(const RepairReplyPayload& payload);
+
 /// Serialized size of a shared row message.
 std::size_t SharedRowBytes(const SharedRowPayload& payload);
 

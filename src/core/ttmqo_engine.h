@@ -97,6 +97,12 @@ class TtmqoEngine final : public QueryEngine {
   /// The cost model (exposes evaluation counters for observability).
   const CostModel& cost_model() const { return cost_model_; }
 
+  /// The tier-2 in-network engine (exposes ARQ/repair counters for
+  /// observability); nullptr when the inner engine is a different kind.
+  const InNetworkEngine* innet_engine() const {
+    return dynamic_cast<const InNetworkEngine*>(inner_.get());
+  }
+
  private:
   /// Stamps optimizer events (which carry time 0; the optimizer has no
   /// clock) with the simulator's current time before forwarding.

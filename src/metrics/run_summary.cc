@@ -21,6 +21,7 @@ RunSummary RunSummary::FromLedger(const RadioLedger& ledger,
   s.propagation_messages = ledger.TotalSent(MessageClass::kQueryPropagation);
   s.abort_messages = ledger.TotalSent(MessageClass::kQueryAbort);
   s.maintenance_messages = ledger.TotalSent(MessageClass::kMaintenance);
+  s.control_messages = ledger.TotalSent(MessageClass::kControl);
   s.retransmissions = ledger.TotalRetransmissions();
   s.total_messages = ledger.TotalMessages();
   return s;
@@ -41,6 +42,27 @@ double RunSummary::AvgDeliveryCompleteness() const {
   return sum / static_cast<double>(delivery.size());
 }
 
+double RunSummary::MinCoverage() const {
+  double min = 1.0;
+  for (const auto& [id, c] : coverage) {
+    min = std::min(min, c.min_coverage);
+  }
+  return min;
+}
+
+double RunSummary::AvgCoverage() const {
+  if (coverage.empty()) return 1.0;
+  double sum = 0.0;
+  for (const auto& [id, c] : coverage) sum += c.AvgCoverage();
+  return sum / static_cast<double>(coverage.size());
+}
+
+std::uint64_t RunSummary::PartialEpochs() const {
+  std::uint64_t partial = 0;
+  for (const auto& [id, c] : coverage) partial += c.partial_epochs;
+  return partial;
+}
+
 std::string RunSummary::ToString() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
@@ -53,7 +75,13 @@ std::string RunSummary::ToString() const {
                 static_cast<unsigned long long>(abort_messages),
                 static_cast<unsigned long long>(maintenance_messages),
                 static_cast<unsigned long long>(retransmissions));
-  return buf;
+  std::string out = buf;
+  if (control_messages > 0) {
+    std::snprintf(buf, sizeof(buf), " ctl=%llu",
+                  static_cast<unsigned long long>(control_messages));
+    out += buf;
+  }
+  return out;
 }
 
 double SavingsPercent(double baseline, double value) {

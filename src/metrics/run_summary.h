@@ -32,6 +32,27 @@ struct QueryDelivery {
   }
 };
 
+/// Base-station epoch accounting of one query (reliability layer): how many
+/// epochs closed, how many closed with less than full coverage, and the
+/// coverage-fraction distribution.  Only populated when the run annotates
+/// coverage (the arq reliability profile); empty otherwise.
+struct QueryCoverage {
+  /// Epochs that closed with a coverage annotation.
+  std::uint64_t epochs = 0;
+  /// Annotated epochs whose coverage was below 1 (partial answers).
+  std::uint64_t partial_epochs = 0;
+  /// Sum of per-epoch coverage fractions (for averaging).
+  double coverage_sum = 0.0;
+  /// Smallest per-epoch coverage seen (1 when no epoch closed).
+  double min_coverage = 1.0;
+
+  /// Mean per-epoch coverage (1 when no epoch closed).
+  double AvgCoverage() const {
+    if (epochs == 0) return 1.0;
+    return coverage_sum / static_cast<double>(epochs);
+  }
+};
+
 /// Measurements of one simulation run.
 struct RunSummary {
   /// Mean over sensor nodes of (transmit time / elapsed), in [0, 1].
@@ -47,12 +68,18 @@ struct RunSummary {
   std::uint64_t propagation_messages = 0;
   std::uint64_t abort_messages = 0;
   std::uint64_t maintenance_messages = 0;
+  /// Reliability control traffic (acks, gap-repair requests/replies); 0
+  /// unless the run used the arq reliability profile.
+  std::uint64_t control_messages = 0;
   /// Retransmission attempts and abandoned messages.
   std::uint64_t retransmissions = 0;
   std::uint64_t total_messages = 0;
   /// Per-query delivery completeness (filled by the runner; empty when the
   /// workload has no user queries).
   std::map<QueryId, QueryDelivery> delivery;
+  /// Per-query base-station coverage accounting (filled by the runner from
+  /// coverage-annotated epoch results; empty unless the run annotated).
+  std::map<QueryId, QueryCoverage> coverage;
 
   /// Snapshots `ledger` over an `elapsed` window.
   static RunSummary FromLedger(const RadioLedger& ledger,
@@ -63,6 +90,15 @@ struct RunSummary {
 
   /// Mean per-query completeness (1 when `delivery` is empty).
   double AvgDeliveryCompleteness() const;
+
+  /// Smallest annotated per-epoch coverage (1 when `coverage` is empty).
+  double MinCoverage() const;
+
+  /// Mean over queries of the average per-epoch coverage (1 when empty).
+  double AvgCoverage() const;
+
+  /// Annotated epochs that closed with coverage below 1, over all queries.
+  std::uint64_t PartialEpochs() const;
 
   /// One-line rendering for logs and benches.
   std::string ToString() const;

@@ -14,6 +14,8 @@ std::string_view MessageClassName(MessageClass cls) {
       return "abort";
     case MessageClass::kMaintenance:
       return "maintenance";
+    case MessageClass::kControl:
+      return "control";
   }
   Check(false, "unknown message class");
   return "";

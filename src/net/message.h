@@ -22,10 +22,11 @@ enum class MessageClass : std::uint8_t {
   kQueryPropagation = 1, ///< query dissemination flood
   kQueryAbort = 2,       ///< query termination flood
   kMaintenance = 3,      ///< periodic neighbor/beacon traffic
+  kControl = 4,          ///< reliability control: acks, gap-repair requests
 };
 
 /// Number of message classes.
-inline constexpr std::size_t kNumMessageClasses = 4;
+inline constexpr std::size_t kNumMessageClasses = 5;
 
 /// Display name of a message class.
 std::string_view MessageClassName(MessageClass cls);

@@ -33,6 +33,15 @@ struct EpochResult {
   /// query's aggregate list); nullopt for empty-set MAX/MIN/SUM/AVG.
   std::vector<std::pair<AggregateSpec, std::optional<double>>> aggregates;
 
+  /// Reliability annotation, set only when the run tracks epoch coverage
+  /// (the ARQ profile): the fraction of expected, still-alive contributors
+  /// accounted for in this epoch — delivered data or affirmed "no data"
+  /// through gap repair.  -1 when the run does not track coverage.
+  double coverage = -1.0;
+  /// Number of nodes whose data actually reached this answer (-1 when the
+  /// run does not track coverage).
+  int contributing_nodes = -1;
+
   /// Human-readable rendering.
   std::string ToString() const;
 };

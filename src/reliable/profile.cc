@@ -1,0 +1,30 @@
+#include "reliable/profile.h"
+
+#include <stdexcept>
+
+#include "util/check.h"
+
+namespace ttmqo {
+
+std::string_view ReliabilityProfileName(ReliabilityProfile profile) {
+  switch (profile) {
+    case ReliabilityProfile::kOff:
+      return "off";
+    case ReliabilityProfile::kHarden:
+      return "harden";
+    case ReliabilityProfile::kArq:
+      return "arq";
+  }
+  Check(false, "unknown reliability profile");
+  return "";
+}
+
+ReliabilityProfile ParseReliabilityProfile(const std::string& name) {
+  if (name == "off") return ReliabilityProfile::kOff;
+  if (name == "harden") return ReliabilityProfile::kHarden;
+  if (name == "arq") return ReliabilityProfile::kArq;
+  throw std::invalid_argument("unknown reliability profile '" + name +
+                              "' (off|harden|arq)");
+}
+
+}  // namespace ttmqo

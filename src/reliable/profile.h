@@ -1,0 +1,40 @@
+// Named reliability profiles of the transport layer.
+//
+// The per-feature hardening knobs of `InNetOptions` (liveness failover,
+// dissemination re-floods, duplicate suppression) and the ARQ transport of
+// `reliable/arq.h` compose into three named operating points every binary
+// exposes as `--reliability=`:
+//
+//   off    — the paper's best-effort tier exactly as seeded: no liveness
+//            tracking, no re-floods, no acks.  Byte-identical to the
+//            pre-reliability goldens.
+//   harden — the PR-2 best-effort hardening promoted to a profile:
+//            overheard-traffic liveness with parent blacklisting,
+//            dissemination re-floods, duplicate suppression.
+//   arq    — harden plus the full reliability protocol: per-hop
+//            ack/timeout retransmission with deterministic backoff,
+//            flapping-node quarantine, base-station epoch accounting with
+//            NACK-driven gap repair, and coverage-annotated partial
+//            results.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace ttmqo {
+
+/// Which reliability machinery a run enables.
+enum class ReliabilityProfile {
+  kOff,
+  kHarden,
+  kArq,
+};
+
+/// Display name ("off" / "harden" / "arq").
+std::string_view ReliabilityProfileName(ReliabilityProfile profile);
+
+/// Parses a profile name; throws `std::invalid_argument` on anything but
+/// off|harden|arq.
+ReliabilityProfile ParseReliabilityProfile(const std::string& name);
+
+}  // namespace ttmqo

@@ -39,8 +39,14 @@ void AppendResultLines(std::ostringstream& out, const ResultLog& results) {
 void AppendSummaryLines(std::ostringstream& out, const RunSummary& summary) {
   out << "messages result=" << summary.result_messages << " propagation="
       << summary.propagation_messages << " abort=" << summary.abort_messages
-      << " maintenance=" << summary.maintenance_messages
-      << " retransmissions=" << summary.retransmissions << " total="
+      << " maintenance=" << summary.maintenance_messages;
+  // The control segment appears only when control traffic exists (the arq
+  // reliability profile): fingerprints of profile-off runs stay
+  // byte-identical to the pre-reliability goldens.
+  if (summary.control_messages > 0) {
+    out << " control=" << summary.control_messages;
+  }
+  out << " retransmissions=" << summary.retransmissions << " total="
       << summary.total_messages << "\n";
   out << "transmit_ms=" << Fixed(summary.total_transmit_ms)
       << " avg_tx_fraction=" << Fixed(summary.avg_transmission_fraction)
@@ -48,6 +54,12 @@ void AppendSummaryLines(std::ostringstream& out, const RunSummary& summary) {
   for (const auto& [id, delivery] : summary.delivery) {
     out << "delivery " << id << " expected=" << delivery.expected
         << " delivered=" << delivery.delivered << "\n";
+  }
+  // Coverage lines exist only for coverage-annotated runs (same reasoning).
+  for (const auto& [id, cov] : summary.coverage) {
+    out << "coverage " << id << " epochs=" << cov.epochs << " partial="
+        << cov.partial_epochs << " avg=" << Fixed(cov.AvgCoverage())
+        << " min=" << Fixed(cov.min_coverage) << "\n";
   }
 }
 

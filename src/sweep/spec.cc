@@ -167,12 +167,14 @@ void WriteRowJson(std::ostream& out, const SweepRow& row,
   out << "{\"index\":" << row.index << ",\"grid\":" << row.grid_side
       << ",\"workload\":\"" << JsonEscape(row.workload) << "\",\"mode\":\""
       << JsonEscape(row.mode) << "\",\"fault\":\"" << JsonEscape(row.fault)
+      << "\",\"reliability\":\"" << JsonEscape(row.reliability)
       << "\",\"replicate\":" << row.replicate << ",\"seed\":" << row.seed
       << ",\"avg_tx_fraction\":" << Num(s.avg_transmission_fraction)
       << ",\"avg_sleep_fraction\":" << Num(s.avg_sleep_fraction)
       << ",\"total_transmit_ms\":" << Num(s.total_transmit_ms)
       << ",\"messages\":" << s.total_messages
       << ",\"retransmissions\":" << s.retransmissions
+      << ",\"control_msgs\":" << s.control_messages
       << ",\"results\":" << row.run.results.size()
       << ",\"rows\":" << DeliveredRows(row.run)
       << ",\"avg_network_queries\":" << Num(row.run.avg_network_queries)
@@ -180,6 +182,13 @@ void WriteRowJson(std::ostream& out, const SweepRow& row,
       << ",\"peak_user_queries\":" << row.run.peak_user_queries
       << ",\"delivery_avg\":" << Num(s.AvgDeliveryCompleteness())
       << ",\"delivery_min\":" << Num(s.MinDeliveryCompleteness())
+      // -1 marks "not tracked" (off/harden); the arq profile reports real
+      // per-epoch coverage.
+      << ",\"coverage_avg\":"
+      << Num(s.coverage.empty() ? -1.0 : s.AvgCoverage())
+      << ",\"coverage_min\":"
+      << Num(s.coverage.empty() ? -1.0 : s.MinCoverage())
+      << ",\"partial_epochs\":" << s.PartialEpochs()
       << ",\"events_executed\":" << row.run.events_executed;
   if (include_timing) out << ",\"wall_ms\":" << Num(row.wall_ms);
   out << "}";
@@ -221,6 +230,11 @@ SweepSpec SweepSpec::Parse(const std::string& text) {
       }
     } else if (key == "faults") {
       spec.faults = values;
+    } else if (key == "reliability") {
+      spec.reliability.clear();
+      for (const std::string& v : values) {
+        spec.reliability.push_back(ParseReliabilityProfile(v));
+      }
     } else if (key == "seeds") {
       const std::int64_t seeds = ParseIntValue(key, value);
       CheckArg(seeds >= 1, "sweep spec: seeds must be >= 1");
@@ -238,12 +252,13 @@ SweepSpec SweepSpec::Parse(const std::string& text) {
     } else {
       throw std::invalid_argument(
           "sweep spec: unknown key '" + key +
-          "' (grids|workloads|modes|faults|seeds|base-seed|duration-ms|"
-          "collisions|alpha)");
+          "' (grids|workloads|modes|faults|reliability|seeds|base-seed|"
+          "duration-ms|collisions|alpha)");
     }
   }
   CheckArg(!spec.grid_sides.empty() && !spec.workloads.empty() &&
-               !spec.modes.empty() && !spec.faults.empty(),
+               !spec.modes.empty() && !spec.faults.empty() &&
+               !spec.reliability.empty(),
            "sweep spec: every axis needs at least one value");
   return spec;
 }
@@ -263,6 +278,8 @@ std::string SweepSpec::ToString() const {
   join("workloads", workloads, [](const std::string& w) { return w; });
   join("modes", modes, [](OptimizationMode m) { return ShortModeName(m); });
   join("faults", faults, [](const std::string& f) { return f; });
+  join("reliability", reliability,
+       [](ReliabilityProfile p) { return ReliabilityProfileName(p); });
   out << "seeds=" << seeds << " base-seed=" << base_seed << " duration-ms="
       << duration_ms << " collisions=" << Num(collisions) << " alpha="
       << Num(alpha);
@@ -271,7 +288,7 @@ std::string SweepSpec::ToString() const {
 
 std::size_t SweepSpec::TaskCount() const {
   return grid_sides.size() * workloads.size() * modes.size() * faults.size() *
-         seeds;
+         reliability.size() * seeds;
 }
 
 std::vector<RunUnit> SweepSpec::Expand() const {
@@ -282,34 +299,38 @@ std::vector<RunUnit> SweepSpec::Expand() const {
     for (const std::string& workload : workloads) {
       for (const OptimizationMode mode : modes) {
         for (const std::string& fault : faults) {
-          for (std::size_t replicate = 0; replicate < seeds; ++replicate) {
-            // All streams of a replicate derive from (base seed,
-            // coordinates); the run/workload/fault seeds are shared
-            // across the mode axis so schemes compare like-for-like on
-            // identical inputs.
-            const std::uint64_t run_seed =
-                root.Fork(0x10000 + replicate).seed();
-            const std::uint64_t workload_seed =
-                root.Fork(0x20000 + replicate).seed();
-            const std::uint64_t fault_seed =
-                root.Fork(0x30000 + replicate).seed() ^ (side << 8);
+          for (const ReliabilityProfile profile : reliability) {
+            for (std::size_t replicate = 0; replicate < seeds; ++replicate) {
+              // All streams of a replicate derive from (base seed,
+              // coordinates); the run/workload/fault seeds are shared
+              // across the mode and reliability axes so schemes compare
+              // like-for-like on identical inputs.
+              const std::uint64_t run_seed =
+                  root.Fork(0x10000 + replicate).seed();
+              const std::uint64_t workload_seed =
+                  root.Fork(0x20000 + replicate).seed();
+              const std::uint64_t fault_seed =
+                  root.Fork(0x30000 + replicate).seed() ^ (side << 8);
 
-            RunUnit unit;
-            unit.config.grid_side = side;
-            unit.config.mode = mode;
-            unit.config.alpha = alpha;
-            unit.config.duration_ms = duration_ms;
-            unit.config.seed = run_seed;
-            unit.config.channel.collision_prob = collisions;
-            unit.config.faults = MakeFaultPlan(fault, side * side,
-                                               duration_ms, fault_seed);
-            unit.schedule = MakeWorkload(workload, workload_seed);
-            std::ostringstream label;
-            label << "grid=" << side << " workload=" << workload << " mode="
-                  << ShortModeName(mode) << " fault=" << fault
-                  << " replicate=" << replicate;
-            unit.label = label.str();
-            units.push_back(std::move(unit));
+              RunUnit unit;
+              unit.config.grid_side = side;
+              unit.config.mode = mode;
+              unit.config.alpha = alpha;
+              unit.config.duration_ms = duration_ms;
+              unit.config.seed = run_seed;
+              unit.config.channel.collision_prob = collisions;
+              unit.config.reliability = profile;
+              unit.config.faults = MakeFaultPlan(fault, side * side,
+                                                 duration_ms, fault_seed);
+              unit.schedule = MakeWorkload(workload, workload_seed);
+              std::ostringstream label;
+              label << "grid=" << side << " workload=" << workload << " mode="
+                    << ShortModeName(mode) << " fault=" << fault
+                    << " reliability=" << ReliabilityProfileName(profile)
+                    << " replicate=" << replicate;
+              unit.label = label.str();
+              units.push_back(std::move(unit));
+            }
           }
         }
       }
@@ -390,24 +411,30 @@ void SweepReport::WriteJson(std::ostream& out, bool include_timing) const {
 }
 
 void SweepReport::WriteCsv(std::ostream& out, bool include_timing) const {
-  out << "index,grid,workload,mode,fault,replicate,seed,avg_tx_fraction,"
-         "avg_sleep_fraction,total_transmit_ms,messages,retransmissions,"
-         "results,rows,avg_network_queries,avg_benefit_ratio,"
-         "peak_user_queries,delivery_avg,delivery_min,events_executed";
+  out << "index,grid,workload,mode,fault,reliability,replicate,seed,"
+         "avg_tx_fraction,avg_sleep_fraction,total_transmit_ms,messages,"
+         "retransmissions,control_msgs,results,rows,avg_network_queries,"
+         "avg_benefit_ratio,peak_user_queries,delivery_avg,delivery_min,"
+         "coverage_avg,coverage_min,partial_epochs,events_executed";
   if (include_timing) out << ",wall_ms";
   out << "\n";
   for (const SweepRow& row : rows) {
     const RunSummary& s = row.run.summary;
     out << row.index << "," << row.grid_side << "," << row.workload << ","
-        << row.mode << "," << row.fault << "," << row.replicate << ","
+        << row.mode << "," << row.fault << "," << row.reliability << ","
+        << row.replicate << ","
         << row.seed << "," << Num(s.avg_transmission_fraction) << ","
         << Num(s.avg_sleep_fraction) << "," << Num(s.total_transmit_ms)
         << "," << s.total_messages << "," << s.retransmissions << ","
+        << s.control_messages << ","
         << row.run.results.size() << "," << DeliveredRows(row.run) << ","
         << Num(row.run.avg_network_queries) << ","
         << Num(row.run.avg_benefit_ratio) << "," << row.run.peak_user_queries
         << "," << Num(s.AvgDeliveryCompleteness()) << ","
-        << Num(s.MinDeliveryCompleteness()) << "," << row.run.events_executed;
+        << Num(s.MinDeliveryCompleteness()) << ","
+        << Num(s.coverage.empty() ? -1.0 : s.AvgCoverage()) << ","
+        << Num(s.coverage.empty() ? -1.0 : s.MinCoverage()) << ","
+        << s.PartialEpochs() << "," << row.run.events_executed;
     if (include_timing) out << "," << Num(row.wall_ms);
     out << "\n";
   }
@@ -434,16 +461,20 @@ SweepReport RunSweep(const SweepSpec& spec, unsigned jobs,
       for (const std::string& workload : spec.workloads) {
         for (const OptimizationMode mode : spec.modes) {
           for (const std::string& fault : spec.faults) {
-            for (std::size_t replicate = 0; replicate < spec.seeds;
-                 ++replicate) {
-              RunUnit& unit = units[index++];
-              unit.config.obs.registry = registry;
-              unit.config.obs.labels = {
-                  {"grid", std::to_string(side)},
-                  {"workload", workload},
-                  {"mode", std::string(ShortModeName(mode))},
-                  {"fault", fault},
-                  {"replicate", std::to_string(replicate)}};
+            for (const ReliabilityProfile profile : spec.reliability) {
+              for (std::size_t replicate = 0; replicate < spec.seeds;
+                   ++replicate) {
+                RunUnit& unit = units[index++];
+                unit.config.obs.registry = registry;
+                unit.config.obs.labels = {
+                    {"grid", std::to_string(side)},
+                    {"workload", workload},
+                    {"mode", std::string(ShortModeName(mode))},
+                    {"fault", fault},
+                    {"reliability",
+                     std::string(ReliabilityProfileName(profile))},
+                    {"replicate", std::to_string(replicate)}};
+              }
             }
           }
         }
@@ -470,20 +501,23 @@ SweepReport RunSweep(const SweepSpec& spec, unsigned jobs,
     for (const std::string& workload : spec.workloads) {
       for (const OptimizationMode mode : spec.modes) {
         for (const std::string& fault : spec.faults) {
-          for (std::size_t replicate = 0; replicate < spec.seeds;
-               ++replicate) {
-            SweepRow row;
-            row.index = index;
-            row.grid_side = side;
-            row.workload = workload;
-            row.mode = std::string(OptimizationModeName(mode));
-            row.fault = fault;
-            row.replicate = replicate;
-            row.seed = units[index].config.seed;
-            row.run = std::move(results[index].run);
-            row.wall_ms = results[index].wall_ms;
-            report.rows.push_back(std::move(row));
-            ++index;
+          for (const ReliabilityProfile profile : spec.reliability) {
+            for (std::size_t replicate = 0; replicate < spec.seeds;
+                 ++replicate) {
+              SweepRow row;
+              row.index = index;
+              row.grid_side = side;
+              row.workload = workload;
+              row.mode = std::string(OptimizationModeName(mode));
+              row.fault = fault;
+              row.reliability = std::string(ReliabilityProfileName(profile));
+              row.replicate = replicate;
+              row.seed = units[index].config.seed;
+              row.run = std::move(results[index].run);
+              row.wall_ms = results[index].wall_ms;
+              report.rows.push_back(std::move(row));
+              ++index;
+            }
           }
         }
       }

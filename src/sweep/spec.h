@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "reliable/profile.h"
 #include "sweep/sweep.h"
 
 namespace ttmqo {
@@ -35,6 +36,10 @@ struct SweepSpec {
   /// drawn per replicate via `FaultPlan::RandomTransient`) or "loss:<p>"
   /// (uniform per-delivery link loss with probability p).
   std::vector<std::string> faults = {"none"};
+  /// Reliability profiles ("off", "harden", "arq").  Run seeds derive from
+  /// the replicate alone, so profiles compare like-for-like on identical
+  /// inputs — the delivery-completeness-vs-loss figure's axes.
+  std::vector<ReliabilityProfile> reliability = {ReliabilityProfile::kOff};
   /// Number of seed replicates.  Within one replicate every (grid,
   /// workload, mode, fault) cell uses the same run seed and the same
   /// generated workload, so modes compare like-for-like.
@@ -58,7 +63,8 @@ struct SweepSpec {
   std::size_t TaskCount() const;
 
   /// Expands the axes (grid, then workload, then mode, then fault, then
-  /// replicate; the last axis varies fastest) into independent run units.
+  /// reliability, then replicate; the last axis varies fastest) into
+  /// independent run units.
   std::vector<RunUnit> Expand() const;
 };
 
@@ -69,6 +75,7 @@ struct SweepRow {
   std::string workload;
   std::string mode;
   std::string fault;
+  std::string reliability;
   std::size_t replicate = 0;
   std::uint64_t seed = 0;
   RunResult run;

@@ -47,6 +47,42 @@ void ExportRunMetrics(MetricsRegistry& registry, const MetricLabels& labels,
   }
   registry.GetGauge("run_rows_expected", labels).Set(expected);
   registry.GetGauge("run_rows_delivered", labels).Set(delivered);
+  // Reliability metrics appear only when the run produced them, so a
+  // registry shared with off/harden runs keeps its pre-reliability shape.
+  if (!run.summary.coverage.empty()) {
+    registry.GetGauge("run_coverage_avg", labels)
+        .Set(run.summary.AvgCoverage());
+    registry.GetGauge("run_coverage_min", labels)
+        .Set(run.summary.MinCoverage());
+    registry.GetGauge("run_epochs_partial", labels)
+        .Set(static_cast<double>(run.summary.PartialEpochs()));
+  }
+  if (run.summary.control_messages > 0) {
+    registry.GetCounter("run_control_messages_total", labels)
+        .Add(static_cast<double>(run.summary.control_messages));
+  }
+  const InNetworkEngine* innet = engine.innet_engine();
+  if (innet != nullptr && innet->arq() != nullptr) {
+    const ArqTransport& arq = *innet->arq();
+    registry.GetCounter("arq_sends_total", labels)
+        .Add(static_cast<double>(arq.sends()));
+    registry.GetCounter("arq_retransmits_total", labels)
+        .Add(static_cast<double>(arq.retransmits()));
+    registry.GetCounter("arq_acks_sent_total", labels)
+        .Add(static_cast<double>(arq.acks_sent()));
+    registry.GetCounter("arq_duplicates_dropped_total", labels)
+        .Add(static_cast<double>(arq.duplicates_dropped()));
+    registry.GetCounter("arq_give_ups_total", labels)
+        .Add(static_cast<double>(arq.give_ups()));
+    registry.GetCounter("arq_quarantines_total", labels)
+        .Add(static_cast<double>(arq.quarantines()));
+    registry.GetCounter("arq_repair_requests_total", labels)
+        .Add(static_cast<double>(innet->repair_requests()));
+    registry.GetCounter("arq_repair_replies_total", labels)
+        .Add(static_cast<double>(innet->repair_replies()));
+    registry.GetCounter("arq_late_drops_total", labels)
+        .Add(static_cast<double>(innet->late_drops()));
+  }
 
   registry.GetCounter("tier1_cost_evaluations_total", labels)
       .Add(static_cast<double>(engine.cost_model().cost_evaluations()));
@@ -207,6 +243,12 @@ RunResult RunExperiment(const RunConfig& config,
   options.mode = config.mode;
   options.alpha = config.alpha;
   options.innet = config.innet;
+  ApplyReliabilityProfile(config.reliability, options.innet);
+  if (options.innet.arq.seed == 0) {
+    // Fork the ARQ jitter streams off the master seed so retry schedules
+    // are a pure function of the run configuration.
+    options.innet.arq.seed = config.seed ^ 0xa59aULL;
+  }
   TtmqoEngine engine(network, *field, &run.results, options);
   if (config.obs.trace != nullptr) {
     engine.SetTraceSink(config.obs.trace);
@@ -302,6 +344,17 @@ RunResult RunExperiment(const RunConfig& config,
   run.final_benefit_ratio = engine.BenefitRatio();
   run.events_executed = network.sim().events_executed();
   FillDeliveryCompleteness(run, config, schedule, faults, topology, *field);
+
+  // Coverage accounting: only epochs the engine annotated (arq profile)
+  // contribute, so off/harden summaries stay byte-identical to the seed.
+  for (const EpochResult* result : run.results.All()) {
+    if (result->coverage < 0) continue;
+    QueryCoverage& coverage = run.summary.coverage[result->query];
+    ++coverage.epochs;
+    if (result->coverage < 1.0) ++coverage.partial_epochs;
+    coverage.coverage_sum += result->coverage;
+    coverage.min_coverage = std::min(coverage.min_coverage, result->coverage);
+  }
 
   if (config.obs.registry != nullptr) {
     ExportRunMetrics(*config.obs.registry, config.obs.labels, run, engine);

@@ -81,6 +81,10 @@ struct RunConfig {
   double alpha = 0.6;
   /// In-network ablation switches (applied to modes that use tier 2).
   InNetOptions innet;
+  /// Named reliability profile applied on top of `innet` (off / harden /
+  /// arq).  The ARQ jitter seed is derived from the master seed unless the
+  /// caller pinned one explicitly.
+  ReliabilityProfile reliability = ReliabilityProfile::kOff;
   /// Simulated duration.
   SimDuration duration_ms = 20 * 60 * 1000;
   /// Periodic network maintenance beacons (0 disables them).
