@@ -1,10 +1,38 @@
 // Google-benchmark microbenchmarks for the tier-1 optimizer: cost model
 // evaluation, benefit-rate computation, and Algorithm 1/2 throughput as the
 // synthetic query list grows.
+//
+//   micro_bs_opt                         # the gbench microbenchmarks
+//   micro_bs_opt --curve-out=PATH        # insert-throughput curve artifact
+//       [--max-queries=1000000]          # largest indexed curve point
+//       [--naive-max-queries=10000]      # largest naive (oracle) curve point
+//       [--naive-budget-ms=120000]       # per-point naive safety budget
+//
+// Curve mode inserts 10^2..10^6 user queries into a fresh optimizer, once
+// with the synthetic-query index (Options::use_index, the default) and once
+// with the seed's naive scan, over two workload profiles: "mixed"
+// (coverage-heavy: acquisition merges quickly form wide synthetics that
+// cover most arrivals) and "distinct-aggs" (population-heavy: aggregation
+// queries with distinct predicates cannot merge, so the synthetic set grows
+// linearly).  The naive curve stops at --naive-max-queries — a fixed,
+// deterministic cap, so the committed artifact's decision counts never
+// depend on host speed — with --naive-budget-ms as a safety abort.  Both
+// paths must agree exactly on every decision count; the binary exits
+// non-zero on divergence.  The JSON artifact (BENCH_bsopt.json) carries
+// BuildInfo provenance; ci.sh regenerates it and diffs the counts.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "core/bs/cost_model.h"
 #include "core/bs/rewriter.h"
+#include "obs/build_info.h"
+#include "util/flags.h"
 #include "workload/generator.h"
 
 namespace ttmqo {
@@ -50,17 +78,20 @@ void BM_BenefitRate(benchmark::State& state) {
 BENCHMARK(BM_BenefitRate);
 
 // Insert `range(0)` user queries into a fresh optimizer; reports the cost
-// of Algorithm 1 as the workload grows.
+// of Algorithm 1 as the workload grows.  `range(1)` selects the candidate
+// search: 1 = indexed (default), 0 = the naive oracle scan.
 void BM_InsertQueries(benchmark::State& state) {
   const Topology topology = Topology::Grid(8);
   const SelectivityEstimator estimator;
   const CostModel cost(topology, RadioParams{}, estimator);
   const auto count = static_cast<std::size_t>(state.range(0));
+  BaseStationOptimizer::Options options;
+  options.use_index = state.range(1) != 0;
   RandomQueryModel model(BenchModelParams(), 3);
   std::vector<Query> queries;
   for (QueryId i = 1; i <= count; ++i) queries.push_back(model.Next(i));
   for (auto _ : state) {
-    BaseStationOptimizer optimizer(cost);
+    BaseStationOptimizer optimizer(cost, options);
     for (const Query& q : queries) {
       benchmark::DoNotOptimize(optimizer.InsertUserQuery(q));
     }
@@ -70,7 +101,12 @@ void BM_InsertQueries(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(count));
 }
-BENCHMARK(BM_InsertQueries)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+BENCHMARK(BM_InsertQueries)
+    ->Args({8, 1})
+    ->Args({32, 1})
+    ->Args({128, 1})
+    ->Args({512, 1})
+    ->Args({512, 0});
 
 // Full churn: insert then terminate every query (Algorithm 1 + 2).
 void BM_InsertTerminateChurn(benchmark::State& state) {
@@ -106,7 +142,193 @@ void BM_IntegrateQueries(benchmark::State& state) {
 }
 BENCHMARK(BM_IntegrateQueries);
 
+// ---------------------------------------------------------------------------
+// Curve mode (--curve-out): the BENCH_bsopt.json artifact.
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Result of inserting the first `inserted` queries of a profile stream.
+struct InsertRun {
+  bool complete = false;      ///< false: the naive safety budget fired
+  std::size_t inserted = 0;
+  double seconds = 0.0;
+  std::size_t synthetics = 0;
+  BaseStationOptimizer::DecisionStats decisions;
+  BaseStationOptimizer::IndexStats index;
+};
+
+/// Inserts `count` queries drawn from a fresh model (seed 3, ids 1..count)
+/// into a fresh optimizer.  Query generation happens in untimed chunks so
+/// `seconds` measures only InsertUserQuery.  `budget_seconds` <= 0 means
+/// unlimited.
+InsertRun RunInserts(const CostModel& cost, const QueryModelParams& params,
+                     std::size_t count, bool use_index,
+                     double budget_seconds) {
+  BaseStationOptimizer::Options options;
+  options.use_index = use_index;
+  BaseStationOptimizer optimizer(cost, options);
+  RandomQueryModel model(params, 3);
+  constexpr std::size_t kChunk = 8192;
+  std::vector<Query> chunk;
+  chunk.reserve(kChunk);
+  InsertRun run;
+  QueryId next_id = 1;
+  while (run.inserted < count) {
+    chunk.clear();
+    const std::size_t n = std::min(kChunk, count - run.inserted);
+    for (std::size_t i = 0; i < n; ++i) chunk.push_back(model.Next(next_id++));
+    const auto start = Clock::now();
+    for (const Query& q : chunk) {
+      benchmark::DoNotOptimize(optimizer.InsertUserQuery(q));
+    }
+    run.seconds += SecondsSince(start);
+    run.inserted += n;
+    if (budget_seconds > 0.0 && run.seconds > budget_seconds) break;
+  }
+  run.complete = run.inserted == count;
+  run.synthetics = optimizer.NumSynthetic();
+  run.decisions = optimizer.decision_stats();
+  run.index = optimizer.index_stats();
+  return run;
+}
+
+void WriteRunJson(std::ostream& out, const char* name, const InsertRun& run,
+                  bool with_index_stats) {
+  const double qps =
+      run.seconds > 0.0 ? static_cast<double>(run.inserted) / run.seconds
+                        : 0.0;
+  out << "      \"" << name << "\": {\"complete\": "
+      << (run.complete ? "true" : "false") << ", \"inserted\": "
+      << run.inserted << ", \"seconds\": ";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4f", run.seconds);
+  out << buf << ", \"inserts_per_sec\": ";
+  std::snprintf(buf, sizeof(buf), "%.0f", qps);
+  out << buf << ",\n        \"synthetics\": " << run.synthetics
+      << ", \"covered\": " << run.decisions.covered << ", \"merged\": "
+      << run.decisions.merged << ", \"standalone\": "
+      << run.decisions.standalone;
+  if (with_index_stats) {
+    out << ",\n        \"coverage_hits\": " << run.index.coverage_hits
+        << ", \"memo_hits\": " << run.index.memo_hits
+        << ", \"pruned_candidates\": " << run.index.pruned_candidates
+        << ", \"exact_evaluations\": " << run.index.exact_evaluations;
+  }
+  out << "}";
+}
+
+bool SameDecisions(const InsertRun& a, const InsertRun& b) {
+  return a.synthetics == b.synthetics &&
+         a.decisions.covered == b.decisions.covered &&
+         a.decisions.merged == b.decisions.merged &&
+         a.decisions.standalone == b.decisions.standalone;
+}
+
+int RunCurve(const std::string& out_path, std::size_t max_queries,
+             std::size_t naive_max_queries, double naive_budget_ms) {
+  const Topology topology = Topology::Grid(8);
+  const SelectivityEstimator estimator;
+  const CostModel cost(topology, RadioParams{}, estimator);
+
+  struct Profile {
+    const char* name;
+    QueryModelParams params;
+  };
+  QueryModelParams distinct = BenchModelParams();
+  distinct.aggregation_fraction = 1.0;
+  const Profile profiles[] = {
+      {"mixed", BenchModelParams()},
+      {"distinct-aggs", distinct},
+  };
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot open " << out_path << "\n";
+    return 1;
+  }
+  out << "{\n  \"bench\": \"bs_opt_insert_curve\",\n"
+      << "  \"grid_side\": 8,\n  \"model_seed\": 3,\n"
+      << "  \"naive_max_queries\": " << naive_max_queries << ",\n"
+      << "  \"build\": ";
+  obs::WriteBuildInfoJson(out, 4);
+  out << ",\n  \"profiles\": [\n";
+
+  bool first_profile = true;
+  for (const Profile& profile : profiles) {
+    if (!first_profile) out << ",\n";
+    first_profile = false;
+    out << "   {\"workload\": \"" << profile.name << "\",\n    \"curve\": [\n";
+    bool first_point = true;
+    for (std::size_t count : {std::size_t{100}, std::size_t{1000},
+                              std::size_t{10000}, std::size_t{100000},
+                              std::size_t{1000000}}) {
+      if (count > max_queries) break;
+      std::fprintf(stderr, "curve: %s n=%zu indexed...\n", profile.name,
+                   count);
+      const InsertRun indexed =
+          RunInserts(cost, profile.params, count, /*use_index=*/true, 0.0);
+      if (!first_point) out << ",\n";
+      first_point = false;
+      out << "     {\"queries\": " << count << ",\n";
+      WriteRunJson(out, "indexed", indexed, /*with_index_stats=*/true);
+      if (count <= naive_max_queries) {
+        std::fprintf(stderr, "curve: %s n=%zu naive...\n", profile.name,
+                     count);
+        const InsertRun naive =
+            RunInserts(cost, profile.params, count, /*use_index=*/false,
+                       naive_budget_ms / 1000.0);
+        out << ",\n";
+        WriteRunJson(out, "naive", naive, /*with_index_stats=*/false);
+        if (naive.complete && !SameDecisions(indexed, naive)) {
+          std::cerr << "FATAL: indexed and naive decisions diverge at "
+                    << profile.name << " n=" << count << "\n";
+          return 1;
+        }
+        if (naive.complete && naive.seconds > 0.0 && indexed.seconds > 0.0) {
+          const double speedup = naive.seconds / indexed.seconds;
+          char buf[64];
+          std::snprintf(buf, sizeof(buf), "%.2f", speedup);
+          out << ",\n      \"speedup_x\": " << buf;
+        }
+      }
+      out << "}";
+    }
+    out << "\n    ]}";
+  }
+  out << "\n  ]\n}\n";
+  std::fprintf(stderr, "curve: wrote %s\n", out_path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace ttmqo
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Curve mode bypasses google-benchmark entirely (its flag parser rejects
+  // ours and vice versa).
+  bool curve = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--curve-out", 0) == 0) curve = true;
+  }
+  if (curve) {
+    const ttmqo::Flags flags = ttmqo::Flags::Parse(argc, argv);
+    const std::string out = flags.GetString("curve-out", "BENCH_bsopt.json");
+    const auto max_queries =
+        static_cast<std::size_t>(flags.GetInt("max-queries", 1000000));
+    const auto naive_max = static_cast<std::size_t>(
+        flags.GetInt("naive-max-queries", 10000));
+    const double naive_budget_ms =
+        flags.GetDouble("naive-budget-ms", 120000.0);
+    if (ttmqo::ReportUnreadFlags(flags)) return 2;
+    return ttmqo::RunCurve(out, max_queries, naive_max, naive_budget_ms);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

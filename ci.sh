@@ -244,6 +244,15 @@ reliability_bench() {
 }
 run_step "reliability-bench (asan)" blocking reliability_bench
 
+# The tier-1 index differential suite, explicitly under ASan: the indexed
+# candidate search must match the naive oracle byte-for-byte (it also runs
+# in the integration tier above; this dedicated step keeps the equivalence
+# gate visible in the summary even if tier labels are ever reshuffled).
+bs_opt_equivalence() {
+  ./build-asan/tests/bs_opt_equivalence_test
+}
+run_step "bs-opt-equivalence (asan)" blocking bs_opt_equivalence
+
 # The sweep orchestrator's cross-thread determinism check: the same spec at
 # jobs=1 and jobs=hardware must produce byte-identical canonical reports.
 sweep_determinism() {
@@ -259,7 +268,24 @@ run_step "sweep-determinism (asan)" blocking sweep_determinism
 
 run_step "build-release" blocking \
   configure_and_build build-release -DCMAKE_BUILD_TYPE=Release \
-  -- hotpath obs_overhead obs_overhead_nospans
+  -- hotpath obs_overhead obs_overhead_nospans micro_bs_opt
+
+# The committed optimizer-scaling artifact must match what the code
+# produces: regenerate the insert-throughput curve and compare the decision
+# counts exactly (timings and build provenance are host-dependent and are
+# stripped from both sides; the binary itself exits non-zero if the indexed
+# and naive paths ever disagree on a decision).
+bsopt_bench() {
+  ./build-release/bench/micro_bs_opt \
+    --curve-out="${ARTIFACTS}/BENCH_bsopt.json" &&
+    python3 tools/strip_bench_timings.py BENCH_bsopt.json \
+      > "${ARTIFACTS}/BENCH_bsopt.committed.json" &&
+    python3 tools/strip_bench_timings.py "${ARTIFACTS}/BENCH_bsopt.json" \
+      > "${ARTIFACTS}/BENCH_bsopt.fresh.json" &&
+    diff -u "${ARTIFACTS}/BENCH_bsopt.committed.json" \
+      "${ARTIFACTS}/BENCH_bsopt.fresh.json"
+}
+run_step "bsopt-bench (release)" blocking bsopt_bench
 
 perf_smoke() {
   ./build-release/bench/hotpath \

@@ -55,6 +55,10 @@ double CostModel::Cost(const Query& query) const {
   return Transmissions(query) * per_message;
 }
 
+std::uint64_t CostModel::StatsVersion() const {
+  return selectivity_->Version();
+}
+
 double CostModel::Benefit(const Query& q1, const Query& q2,
                           const Query& integrated) const {
   benefit_evaluations_.fetch_add(1, std::memory_order_relaxed);

@@ -64,6 +64,10 @@ class CostModel {
     return benefit_evaluations_.load(std::memory_order_relaxed);
   }
 
+  /// Version of the statistics feeding Eq. 1; any cached Cost/Benefit value
+  /// is stale once this moves (see SelectivityEstimator::Version).
+  std::uint64_t StatsVersion() const;
+
  private:
   const Topology* topology_;
   RadioParams radio_;

@@ -5,12 +5,26 @@
 // rate (benefit / cost of the inserted query); a rate of 1 means the new
 // query is covered and nothing changes in the network; a positive rate
 // triggers integration, after which the updated synthetic query is
-// recursively re-inserted to exploit chained merges (the paper's
-// q1/q2/q3 example); otherwise the query becomes its own synthetic query.
+// re-inserted to exploit chained merges (the paper's q1/q2/q3 example);
+// otherwise the query becomes its own synthetic query.
 // `TerminateUserQuery` implements Algorithm 2: when the leaving query was
 // the only member needing some requested data, the synthetic query is
 // rebuilt only if cost(q) > benefit * alpha — small leftovers are tolerated
 // to spare the network churn.
+//
+// The candidate search scales two ways (DESIGN.md note 20):
+//
+//  * `Options::use_index = true` (default) finds coverage candidates by
+//    ordered-container lookup over (epoch, attribute-mask) and
+//    (predicate-signature, epoch) buckets, memoizes Eq. 1-3 cost and
+//    benefit-rate results by structural query signature, and prunes merge
+//    candidates with an admissible upper bound on the benefit rate before
+//    exact costing.  Memos are invalidated whenever the selectivity
+//    statistics advance (CostModel::StatsVersion).
+//  * `Options::use_index = false` runs the original full scan of
+//    `synthetics_` per insertion.  It is kept as the oracle for the
+//    differential suite (tests/bs_opt_equivalence_test.cc): both paths
+//    produce byte-identical Actions and decision counts.
 //
 // The rewriter is a pure decision component: it returns the abort/inject
 // actions and lets the engine talk to the network.  The paper's per-field
@@ -20,8 +34,12 @@
 // count dropped to 0".
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/bs/cost_model.h"
@@ -44,6 +62,17 @@ struct SyntheticQuery {
 
   /// sum(cost(member)) - cost(query); maintained by the rewriter.
   double benefit = 0.0;
+
+  /// Optimizer bookkeeping for the indexed path: the ascending-id running
+  /// sum of member costs, so absorbing a member with a higher id extends
+  /// the sum with the exact floating-point op sequence a full recompute
+  /// would execute (the oracle and the indexed path must agree bit-for-bit
+  /// on `benefit`).  Only meaningful while `member_cost_version` matches
+  /// the optimizer's statistics version and `member_cost_valid` holds.
+  double member_cost_sum = 0.0;
+  QueryId member_cost_last_uid = kInvalidQueryId;
+  std::uint64_t member_cost_version = 0;
+  bool member_cost_valid = false;
 };
 
 /// The tier-1 optimizer.
@@ -54,6 +83,10 @@ class BaseStationOptimizer {
     double alpha = 0.6;
     /// Synthetic query ids are allocated from here; user ids must be below.
     QueryId first_synthetic_id = 1u << 20;
+    /// Candidate search strategy: indexed + memoized + pruned (default) or
+    /// the original naive scan (the differential-test oracle).  Decisions
+    /// are identical either way; only the work done to find them differs.
+    bool use_index = true;
   };
 
   /// Network operations a call produced: abort these synthetic queries,
@@ -119,16 +152,49 @@ class BaseStationOptimizer {
   /// Decision counts since construction.
   const DecisionStats& decision_stats() const { return decisions_; }
 
+  /// Work accounting for the indexed search path (all zero when
+  /// `use_index` is off).
+  struct IndexStats {
+    std::uint64_t coverage_hits = 0;  ///< inserts resolved by bucket lookup
+    std::uint64_t memo_hits = 0;      ///< cost + benefit-rate memo hits
+    std::uint64_t pruned_candidates = 0;  ///< merge candidates bound away
+    std::uint64_t exact_evaluations = 0;  ///< full Eq. 1-3 rate evaluations
+    std::uint64_t index_rebuilds = 0;     ///< cost-order rebuilds (stats moved)
+  };
+
+  /// Index/memo/pruning counters since construction.
+  const IndexStats& index_stats() const { return istats_; }
+
   /// Installs a sink for structured decision events ("tier1.insert",
   /// "tier1.benefit_estimate", "tier1.terminate"); nullptr disables
   /// tracing.  The optimizer has no clock: events carry time 0 and callers
   /// stamp them (the engine wraps the sink in a time-stamping adapter).
+  /// The naive path traces a benefit estimate per scanned candidate; the
+  /// indexed path only traces candidates it actually evaluated (pruned
+  /// candidates never get a rate).
   void SetTraceSink(TraceSink* sink) { trace_ = sink; }
 
  private:
-  void InsertBundle(const Query& net_query,
-                    std::map<QueryId, Query> members, Actions& actions);
-  void RecomputeBenefit(SyntheticQuery& sq) const;
+  /// Winner of one Algorithm 1 candidate search; `id` is meaningless when
+  /// `rate` is 0 (no beneficial candidate).
+  struct Best {
+    double rate = 0.0;
+    QueryId id = kInvalidQueryId;
+  };
+
+  void InsertBundle(Query net_query, std::map<QueryId, Query> members,
+                    Actions& actions);
+  Best FindBestNaive(const Query& net_query);
+  Best FindBestIndexed(const Query& net_query);
+  std::optional<QueryId> CoverageLookup(const Query& net_query) const;
+  double RateOf(const Query& qi, const std::string& qi_key, QueryId sid,
+                const SyntheticQuery& sq);
+  double CostOf(const Query& query);
+  void RecomputeBenefit(SyntheticQuery& sq);
+  void SyncStatsVersion();
+  void RebuildCostOrder();
+  void IndexAdd(QueryId sid, const SyntheticQuery& sq);
+  void IndexRemove(QueryId sid, const SyntheticQuery& sq);
   QueryId NextSyntheticId() { return next_synthetic_id_++; }
   static void Deduplicate(Actions& actions);
 
@@ -138,7 +204,39 @@ class BaseStationOptimizer {
   std::map<QueryId, SyntheticQuery> synthetics_;
   std::map<QueryId, QueryId> user_to_synthetic_;
   DecisionStats decisions_;
+  IndexStats istats_;
   TraceSink* trace_ = nullptr;
+
+  // ---- Indexed-path state (empty/idle when use_index is off). ----
+  // Statistics version the memos and cost order were computed under.
+  std::uint64_t stats_version_ = 0;
+  // Eq. 3 cost by structural query signature.
+  std::map<std::string, double> cost_memo_;
+  // BenefitRate by (inserted, synthetic) structural signature pair.  Rates
+  // depend only on the two query structures and the statistics, never on
+  // ids, so entries survive until the statistics move.
+  std::map<std::pair<std::string, std::string>, double> rate_memo_;
+  // Coverage buckets: acquisition synthetics by (epoch, attribute mask);
+  // aggregation synthetics by (predicate signature, epoch) — aggregation
+  // coverage requires exactly equal predicates (integration.cc).
+  std::map<SimDuration, std::map<std::uint32_t, std::set<QueryId>>>
+      acq_buckets_;
+  std::map<std::pair<std::string, SimDuration>, std::set<QueryId>>
+      agg_buckets_;
+  // Merge-candidate scan orders, (cost descending, id descending), so the
+  // monotone upper bound lets a scan stop early.  Acquisition synthetics
+  // can merge with anything and are always scanned; aggregation synthetics
+  // only merge with aggregation queries of exactly equal predicates, which
+  // the `agg_buckets_` signature range finds directly — `agg_order_` is
+  // scanned only for inserted acquisition queries.  `indexed_cost_` holds
+  // each synthetic's cost under `stats_version_` for exact removal.
+  std::set<std::pair<double, QueryId>, std::greater<std::pair<double, QueryId>>>
+      acq_order_;
+  std::set<std::pair<double, QueryId>, std::greater<std::pair<double, QueryId>>>
+      agg_order_;
+  std::map<QueryId, double> indexed_cost_;
+  // Structural signature per synthetic id (computed once at index time).
+  std::map<QueryId, std::string> synthetic_key_;
 };
 
 }  // namespace ttmqo

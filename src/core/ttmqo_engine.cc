@@ -34,6 +34,7 @@ TtmqoEngine::TtmqoEngine(Network& network, const FieldModel& field,
   if (Rewriting()) {
     BaseStationOptimizer::Options opt;
     opt.alpha = options_.alpha;
+    opt.use_index = options_.tier1_use_index;
     optimizer_ =
         std::make_unique<BaseStationOptimizer>(cost_model_, opt);
   }

@@ -52,6 +52,10 @@ struct TtmqoOptions {
   /// of synthetic queries that do NOT constrain that attribute, so the
   /// learned distribution is unbiased.
   bool learn_statistics = false;
+  /// Tier-1 candidate search strategy: the synthetic-query index with
+  /// memoization and pruning (default), or the naive full scan used as the
+  /// differential-test oracle.  Decisions are identical either way.
+  bool tier1_use_index = true;
   /// Options of the underlying engines.
   TinyDbOptions tinydb;
   InNetOptions innet;

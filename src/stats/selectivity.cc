@@ -10,6 +10,7 @@ AttributeDistribution::AttributeDistribution(std::size_t bins) {
 }
 
 void AttributeDistribution::Observe(const Reading& reading) {
+  ++version_;
   for (Attribute attr : kAllAttributes) {
     if (attr == Attribute::kNodeId) continue;  // ids are not a distribution
     const auto value = reading.Get(attr);
@@ -37,6 +38,7 @@ AttributeDistribution& SelectivityEstimator::ForLevel(std::size_t level) {
   auto it = per_level_.find(level);
   if (it == per_level_.end()) {
     it = per_level_.emplace(level, AttributeDistribution(bins_)).first;
+    ++structure_version_;
   }
   return it->second;
 }
@@ -51,6 +53,12 @@ double SelectivityEstimator::Selectivity(const PredicateSet& predicates,
 double SelectivityEstimator::Selectivity(
     const PredicateSet& predicates) const {
   return shared_.Selectivity(predicates);
+}
+
+std::uint64_t SelectivityEstimator::Version() const {
+  std::uint64_t version = structure_version_ + shared_.version();
+  for (const auto& [level, dist] : per_level_) version += dist.version();
+  return version;
 }
 
 }  // namespace ttmqo

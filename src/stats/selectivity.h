@@ -9,6 +9,7 @@
 // techniques", Section 3.1.2).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <vector>
@@ -36,8 +37,13 @@ class AttributeDistribution {
   /// Total observations folded into the `light` histogram (proxy for age).
   double WeightOf(Attribute attr) const;
 
+  /// Bumped on every `Observe`; consumers caching selectivity-derived
+  /// values (the tier-1 cost memos) compare versions to detect staleness.
+  std::uint64_t version() const { return version_; }
+
  private:
   std::vector<Histogram> histograms_;  // indexed by AttributeIndex
+  std::uint64_t version_ = 0;
 };
 
 /// Distributions per routing level with a shared fallback.
@@ -60,10 +66,19 @@ class SelectivityEstimator {
   /// Estimated selectivity using the shared distribution.
   double Selectivity(const PredicateSet& predicates) const;
 
+  /// Monotone counter covering every distribution in the estimator; changes
+  /// whenever any histogram absorbed an observation.  The tier-1 optimizer
+  /// keys its cost/benefit memo caches to this.
+  std::uint64_t Version() const;
+
  private:
   std::size_t bins_;
   AttributeDistribution shared_;
   std::map<std::size_t, AttributeDistribution> per_level_;
+  // Bumped when the estimator's shape changes (a per-level distribution is
+  // created): even an observation-free level stops falling back to the
+  // shared distribution, so shape changes must look like new versions too.
+  std::uint64_t structure_version_ = 0;
 };
 
 }  // namespace ttmqo

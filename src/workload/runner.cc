@@ -102,6 +102,17 @@ void ExportRunMetrics(MetricsRegistry& registry, const MetricLabels& labels,
     decision("retired", d.retired);
     decision("rebuilt", d.rebuilt);
     decision("kept", d.kept);
+    const auto& ix = engine.optimizer()->index_stats();
+    registry.GetCounter("tier1_index_coverage_hits_total", labels)
+        .Add(static_cast<double>(ix.coverage_hits));
+    registry.GetCounter("tier1_index_memo_hits_total", labels)
+        .Add(static_cast<double>(ix.memo_hits));
+    registry.GetCounter("tier1_index_pruned_candidates_total", labels)
+        .Add(static_cast<double>(ix.pruned_candidates));
+    registry.GetCounter("tier1_index_exact_evaluations_total", labels)
+        .Add(static_cast<double>(ix.exact_evaluations));
+    registry.GetCounter("tier1_index_rebuilds_total", labels)
+        .Add(static_cast<double>(ix.index_rebuilds));
   }
 }
 
@@ -242,6 +253,7 @@ RunResult RunExperiment(const RunConfig& config,
   TtmqoOptions options;
   options.mode = config.mode;
   options.alpha = config.alpha;
+  options.tier1_use_index = config.tier1_use_index;
   options.innet = config.innet;
   ApplyReliabilityProfile(config.reliability, options.innet);
   if (options.innet.arq.seed == 0) {

@@ -79,6 +79,9 @@ struct RunConfig {
   OptimizationMode mode = OptimizationMode::kTwoTier;
   /// Tier-1 alpha (Algorithm 2).
   double alpha = 0.6;
+  /// Tier-1 candidate search: indexed (default) or the naive oracle scan;
+  /// decisions and results are identical either way.
+  bool tier1_use_index = true;
   /// In-network ablation switches (applied to modes that use tier 2).
   InNetOptions innet;
   /// Named reliability profile applied on top of `innet` (off / harden /

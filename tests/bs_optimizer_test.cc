@@ -195,6 +195,59 @@ TEST_F(BsOptimizerTest, BenefitRateIsOneExactlyForCoverage) {
   EXPECT_GT(opt.BenefitRate(Acq(3, 0, 900, 4096), *sq), 0.0);
 }
 
+TEST_F(BsOptimizerTest, ZeroCostQueryHasZeroBenefitRate) {
+  // A 1-node "grid" is just the base station: no sensor ever transmits, so
+  // every query costs 0 and Algorithm 1 must treat merging as "no benefit"
+  // instead of dividing by the zero cost.
+  const Topology lone = Topology::Grid(1);
+  const CostModel cost(lone, RadioParams{}, estimator_);
+  BaseStationOptimizer opt(cost);
+  (void)opt.InsertUserQuery(Acq(1, 0, 500, 4096));
+  const SyntheticQuery* sq = opt.SyntheticOf(1);
+  ASSERT_NE(sq, nullptr);
+  const Query wider = Acq(2, 0, 900, 4096);  // rewritable, not covered
+  ASSERT_DOUBLE_EQ(cost.Cost(wider), 0.0);
+  EXPECT_DOUBLE_EQ(opt.BenefitRate(wider, *sq), 0.0);
+}
+
+TEST_F(BsOptimizerTest, NonCoveringMergeRateStaysStrictlyBelowOne) {
+  auto opt = MakeOptimizer();
+  (void)opt.InsertUserQuery(Acq(1, 0, 999.9, 4096));
+  const SyntheticQuery* sq = opt.SyntheticOf(1);
+  ASSERT_NE(sq, nullptr);
+  // A barely-wider arrival: the merged query is nearly identical to the
+  // synthetic, pushing the rate toward 1 — but exactly 1.0 is reserved for
+  // structural coverage, so a merge must stay strictly below it.
+  const double rate = opt.BenefitRate(Acq(2, 0, 1000, 4096), *sq);
+  EXPECT_GT(rate, 0.9);
+  EXPECT_LT(rate, 1.0);
+}
+
+TEST_F(BsOptimizerTest, CoverageTieBreaksToLowestSyntheticId) {
+  // Two synthetics that both cover the arrival with rate exactly 1.0: the
+  // decision must deterministically pin to the lowest synthetic id in both
+  // search modes (the naive scan breaks at the first covering candidate of
+  // its ascending-id walk; the index must reproduce that, not its own scan
+  // order).
+  for (const bool use_index : {true, false}) {
+    BaseStationOptimizer::Options options;
+    options.use_index = use_index;
+    BaseStationOptimizer opt(cost_, options);
+    (void)opt.InsertUserQuery(Acq(1, 0, 600, 4096));
+    (void)opt.InsertUserQuery(Acq(2, 400, 1000, 12288));
+    ASSERT_EQ(opt.NumSynthetic(), 2u)
+        << "use_index=" << use_index << ": A and B must not merge";
+    const Query probe = Acq(99, 450, 550, 12288);
+    ASSERT_DOUBLE_EQ(opt.BenefitRate(probe, *opt.SyntheticOf(1)), 1.0);
+    ASSERT_DOUBLE_EQ(opt.BenefitRate(probe, *opt.SyntheticOf(2)), 1.0);
+    const auto actions = opt.InsertUserQuery(Acq(3, 450, 550, 12288));
+    EXPECT_TRUE(actions.Empty()) << "use_index=" << use_index;
+    EXPECT_EQ(opt.SyntheticOf(3), opt.SyntheticOf(1))
+        << "use_index=" << use_index
+        << ": a coverage tie must land in the lowest-id synthetic";
+  }
+}
+
 TEST_F(BsOptimizerTest, PaperWorkedExample) {
   // Section 3.1.3 (epochs scaled to ms):
   //   q1: light in (280,600) epoch 4096
