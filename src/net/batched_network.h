@@ -1,0 +1,224 @@
+// The lockstep multi-seed radio engine (DESIGN.md note 21).
+//
+// `BatchedNetwork` runs N same-topology, different-seed deployments
+// ("lanes") through one event loop.  All per-node state is stored as
+// structure-of-arrays keyed `[node][lane]` (`node * lanes + lane`), so the
+// hot per-event updates of lanes advancing in lockstep touch contiguous
+// memory.  Radio-internal events — transmission completions, collision
+// retries, maintenance beacon ticks — are *group events*: one heap record
+// carrying a 64-bit lane mask that dispatches across every lane whose
+// schedule coincides.  Lanes whose timing diverged (a collision retry, a
+// crashed node, a busy radio) simply carry smaller masks and re-coalesce
+// at the next beacon tick once the sender's radio is idle again.
+//
+// Determinism contract: each lane's results are byte-identical to running
+// that lane's seed through a serial single-lane `Network` (fingerprint-
+// and golden-checked).  Two invariants make that hold:
+//
+//   1. Per-lane schedule order.  Group records are only created from group
+//     handlers (or the pre-run setup), where every member lane logically
+//     schedules the same action at the same moment; per-lane work inside a
+//     group handler runs in ascending lane order, and each lane's schedules
+//     keep program order.  Hence any two records containing lane `l` carry
+//     global sequence numbers in the same relative order as the lane's
+//     serial schedule order, and the (time, seq) heap fires lane `l`'s
+//     events exactly as the serial heap would.
+//   2. Per-lane stochastic state.  Every RNG (collision, link loss), every
+//     ledger, every accounting array is per lane; a group fire performs the
+//     per-lane draws/updates in the same program order as the serial
+//     handler, so streams never cross lanes — which is also why a lane's
+//     divergence (crash, retry storm) cannot corrupt a sibling lane.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "net/network.h"
+#include "util/rng.h"
+
+namespace ttmqo {
+
+/// N same-topology lanes in one event loop.  Lane `l` is driven through
+/// its `Network` view (`lane(l)`), which exposes the classic serial API.
+class BatchedNetwork final : public GroupDispatcher {
+ public:
+  /// One lane per seed (1..64 lanes).  `seeds[l]` drives lane `l`'s
+  /// collision/loss models and link-quality perturbation, exactly as the
+  /// serial `Network(topology, radio, channel, seed)` would.
+  BatchedNetwork(const Topology& topology, RadioParams radio,
+                 ChannelParams channel, std::span<const std::uint64_t> seeds);
+
+  /// A single-lane batch with *no* lane views: the storage behind a classic
+  /// serial `Network`, which itself is the lane-0 view.
+  static std::unique_ptr<BatchedNetwork> MakeViewless(const Topology& topology,
+                                                      RadioParams radio,
+                                                      ChannelParams channel,
+                                                      std::uint64_t seed);
+
+  BatchedNetwork(const BatchedNetwork&) = delete;
+  BatchedNetwork& operator=(const BatchedNetwork&) = delete;
+
+  /// Number of lanes.
+  std::uint32_t lanes() const { return lanes_; }
+
+  /// Lane `l`'s serial-API view.
+  Network& lane(std::uint32_t l) { return lane_views_.at(l); }
+
+  /// The shared event loop core.
+  SimCore& core() { return core_; }
+  const SimCore& core() const { return core_; }
+
+  /// Runs every lane in lockstep until `until`.
+  void RunUntil(SimTime until) { core_.RunUntil(until); }
+
+  /// The deployment (shared by all lanes).
+  const Topology& topology() const { return *topology_; }
+
+  /// Radio timing parameters (shared by all lanes).
+  const RadioParams& radio() const { return radio_; }
+
+  /// Starts the coalesced maintenance beacons on *all* lanes: one group
+  /// tick per node per period, mask = every lane whose node is alive.
+  void StartMaintenanceBeacons(SimDuration period, std::size_t payload_bytes);
+
+  // ---- Per-lane operations (the `Network` view plumbing). ----
+  const LinkQualityMap& link_quality(std::uint32_t lane) const {
+    return link_quality_[lane];
+  }
+  RadioLedger& ledger(std::uint32_t lane) { return ledgers_[lane]; }
+  ObserverMux& observers(std::uint32_t lane) { return observers_[lane]; }
+  void SetReceiver(std::uint32_t lane, NodeId node, Network::Receiver recv);
+  void SetAsleep(std::uint32_t lane, NodeId node, bool asleep);
+  bool IsAsleep(std::uint32_t lane, NodeId node) const {
+    return asleep_.at(Idx(node, lane)) != 0;
+  }
+  void FailNode(std::uint32_t lane, NodeId node);
+  bool IsFailed(std::uint32_t lane, NodeId node) const {
+    return failed_.at(Idx(node, lane)) != 0;
+  }
+  std::size_t NumFailed(std::uint32_t lane) const {
+    return num_failed_[lane];
+  }
+  void SetDown(std::uint32_t lane, NodeId node);
+  void Recover(std::uint32_t lane, NodeId node);
+  bool IsDown(std::uint32_t lane, NodeId node) const {
+    const std::size_t i = Idx(node, lane);
+    return failed_.at(i) != 0 || down_.at(i) != 0;
+  }
+  std::size_t NumDown(std::uint32_t lane) const { return num_down_[lane]; }
+  void SetDefaultLinkLoss(std::uint32_t lane, double p);
+  void SetLinkLoss(std::uint32_t lane, NodeId a, NodeId b, double p);
+  void ClearLinkLoss(std::uint32_t lane, NodeId a, NodeId b);
+  double LinkLossOf(std::uint32_t lane, NodeId a, NodeId b) const;
+  std::uint64_t link_drops(std::uint32_t lane) const {
+    return link_drops_[lane];
+  }
+  void Send(std::uint32_t lane, Message msg);
+  void StartMaintenanceBeaconsLane(std::uint32_t lane, SimDuration period,
+                                   std::size_t payload_bytes);
+  void FinalizeAccounting(std::uint32_t lane);
+  std::size_t in_flight(std::uint32_t lane) const {
+    return total_flights_[lane];
+  }
+
+  /// `GroupDispatcher`: fires one coalesced radio event.
+  void DispatchGroup(std::uint32_t slot) override;
+
+ private:
+  struct ViewlessTag {};
+  BatchedNetwork(ViewlessTag, const Topology& topology, RadioParams radio,
+                 ChannelParams channel, std::span<const std::uint64_t> seeds);
+
+  /// One `StartMaintenanceBeacons` call; ticks reference it by index.
+  struct BeaconSet {
+    SimDuration period;
+    std::size_t payload_bytes;
+  };
+
+  /// One coalesced radio event: the lanes it fires for plus the payload the
+  /// serial handler would have captured.  Pooled and recycled like the
+  /// simulator's callable slab.
+  struct GroupEvent {
+    enum class Kind : std::uint8_t { kComplete, kRetry, kBeacon };
+    std::uint64_t mask = 0;
+    Kind kind = Kind::kComplete;
+    int attempt = 0;
+    SimTime started = 0;   ///< kComplete: transmission start time
+    NodeId node = 0;       ///< kBeacon: beaconing node
+    std::uint32_t set = 0; ///< kBeacon: beacon-set index
+    Message msg;           ///< kComplete/kRetry payload (moved, never copied
+                           ///< unless lanes diverged mid-group)
+  };
+
+  std::size_t Idx(NodeId node, std::uint32_t lane) const {
+    return static_cast<std::size_t>(node) * lanes_ + lane;
+  }
+  std::uint64_t AllLanesMask() const {
+    return lanes_ == 64 ? ~0ULL : (1ULL << lanes_) - 1;
+  }
+  std::uint32_t AllocGroup();
+  void ScheduleBeacons(std::uint64_t mask, SimDuration period,
+                       std::size_t payload_bytes);
+  void BeginAttempt(std::uint64_t mask, Message msg, int attempt);
+  void CompleteAttempt(std::uint64_t mask, Message msg, int attempt,
+                       SimTime started);
+  void Deliver(std::uint64_t mask, const Message& msg);
+  void BeaconTick(std::uint64_t mask, NodeId node, std::uint32_t set);
+  std::size_t CountInterferers(std::uint32_t lane, NodeId sender,
+                               SimTime started) const;
+  void AddFlight(std::uint32_t lane, NodeId sender, SimTime end);
+  void RemoveFlight(std::uint32_t lane, NodeId sender, SimTime end);
+
+  const Topology* topology_;
+  RadioParams radio_;
+  ChannelParams channel_;
+  std::uint32_t lanes_;
+  SimCore core_;
+  // ---- Per-lane components (indexed by lane). ----
+  std::vector<LinkQualityMap> link_quality_;
+  std::vector<RadioLedger> ledgers_;
+  std::vector<Rng> rng_;
+  std::vector<Rng> loss_rng_;
+  std::vector<ObserverMux> observers_;
+  std::vector<std::size_t> num_failed_;
+  std::vector<std::size_t> num_down_;
+  std::vector<double> default_link_loss_;
+  /// Per-link loss overrides, keyed by the normalized (low, high) pair.
+  std::vector<std::map<std::pair<NodeId, NodeId>, double>> link_loss_;
+  std::vector<std::uint64_t> link_drops_;
+  std::vector<std::size_t> total_flights_;
+  /// Compact per-lane list of senders with at least one active flight —
+  /// `CountInterferers` walks only those.
+  std::vector<std::vector<NodeId>> active_senders_;
+  // ---- Structure-of-arrays node state (indexed `node * lanes + lane`,
+  // so the lanes of one node share cache lines). ----
+  std::vector<Network::Receiver> receivers_;
+  std::vector<std::uint8_t> asleep_;
+  std::vector<std::uint8_t> failed_;
+  std::vector<std::uint8_t> down_;
+  std::vector<SimTime> down_since_;
+  std::vector<SimTime> sleep_since_;
+  std::vector<SimTime> busy_until_;
+  /// O(1) flight tracking: per-(node, lane) end times (appended at begin,
+  /// swap-removed at complete; capacity is retained, so steady state never
+  /// allocates) plus each lane's slot in its active-senders list.
+  std::vector<std::vector<SimTime>> flight_ends_;
+  std::vector<std::uint32_t> active_slot_;
+  // ---- Shared plumbing. ----
+  std::vector<BeaconSet> beacon_sets_;
+  /// Scratch for sorted destination lookups on large multicasts (the
+  /// membership answer is lane-independent, so one scratch serves all).
+  std::vector<NodeId> dest_scratch_;
+  /// Pooled group events + recycled slots.
+  std::vector<GroupEvent> groups_;
+  std::vector<std::uint32_t> free_groups_;
+  /// Per-lane serial-API views (in creation order; stable addresses).
+  std::deque<Network> lane_views_;
+};
+
+}  // namespace ttmqo

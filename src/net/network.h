@@ -10,11 +10,18 @@
 // transmissions; failed attempts are retried with linear backoff and
 // charged to the sender as retransmissions, reproducing the paper's
 // "retransmission messages due to transmission failure" accounting.
+//
+// Since the batched multi-seed engine (DESIGN.md note 21), `Network` is a
+// *lane view*: all node state lives in a `BatchedNetwork` as
+// structure-of-arrays keyed [node][lane], and this class is the per-lane
+// interface engine code holds a reference to.  The classic constructor
+// builds a private single-lane batch, which executes the exact serial
+// event/RNG sequence the pre-batching engine did (golden-checked).
 #pragma once
 
+#include <cstdint>
 #include <functional>
-#include <map>
-#include <vector>
+#include <memory>
 
 #include "net/ledger.h"
 #include "net/link_quality.h"
@@ -23,11 +30,12 @@
 #include "net/radio.h"
 #include "net/simulator.h"
 #include "net/topology.h"
-#include "util/rng.h"
 
 namespace ttmqo {
 
-/// Owns the event loop and the radio channel for one deployment.
+class BatchedNetwork;
+
+/// One lane's view of the radio channel of one deployment.
 class Network {
  public:
   /// Receives a delivered or overheard message.  `addressed` is true when
@@ -35,29 +43,36 @@ class Network {
   using Receiver =
       std::function<void(const Message& msg, bool addressed)>;
 
+  /// A self-contained single-lane deployment (the serial engine).
   /// `seed` drives the collision model only.
   Network(const Topology& topology, RadioParams radio, ChannelParams channel,
           std::uint64_t seed);
 
+  /// Lane `lane`'s view of `batch` (created by `BatchedNetwork`; the batch
+  /// must outlive the view).
+  Network(BatchedNetwork& batch, std::uint32_t lane);
+
+  ~Network();
+
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
-  /// The event loop (scheduling, Now()).
+  /// The event loop (scheduling, Now()) — this lane's view of it.
   Simulator& sim() { return sim_; }
   const Simulator& sim() const { return sim_; }
 
-  /// The deployment.
-  const Topology& topology() const { return *topology_; }
+  /// The deployment (shared by all lanes).
+  const Topology& topology() const;
 
   /// Per-link quality estimates (for parent selection / tie breaking).
-  const LinkQualityMap& link_quality() const { return link_quality_; }
+  const LinkQualityMap& link_quality() const;
 
-  /// Radio accounting.
-  RadioLedger& ledger() { return ledger_; }
-  const RadioLedger& ledger() const { return ledger_; }
+  /// Radio accounting of this lane.
+  RadioLedger& ledger();
+  const RadioLedger& ledger() const;
 
   /// Radio timing parameters.
-  const RadioParams& radio() const { return radio_; }
+  const RadioParams& radio() const;
 
   /// Installs the message handler of `node` (replacing any previous one).
   void SetReceiver(NodeId node, Receiver receiver);
@@ -80,7 +95,7 @@ class Network {
   bool IsFailed(NodeId node) const;
 
   /// Number of failed nodes.
-  std::size_t NumFailed() const { return num_failed_; }
+  std::size_t NumFailed() const;
 
   /// Begins a transient outage: the node neither sends, receives, nor
   /// overhears until `Recover`.  Unlike `FailNode` the outage is *silent* —
@@ -95,7 +110,7 @@ class Network {
   bool IsDown(NodeId node) const;
 
   /// Number of nodes currently in a transient outage.
-  std::size_t NumDown() const { return num_down_; }
+  std::size_t NumDown() const;
 
   /// Probability that a delivery on any link without a per-link override is
   /// lost (independent per receiver; the sender never notices).
@@ -111,8 +126,8 @@ class Network {
   /// Effective loss probability of the link a—b.
   double LinkLossOf(NodeId a, NodeId b) const;
 
-  /// Deliveries lost to lossy links so far (all links).
-  std::uint64_t link_drops() const { return link_drops_; }
+  /// Deliveries lost to lossy links so far (all links, this lane).
+  std::uint64_t link_drops() const;
 
   /// Queues `msg` for transmission from `msg.sender`.  Destinations must be
   /// radio neighbors of the sender.  The transmission starts when the
@@ -123,7 +138,8 @@ class Network {
   /// Starts a periodic per-node maintenance broadcast (neighbor beacons /
   /// time sync) of `payload_bytes`, one per node per `period`, with node
   /// index staggering.  Models the paper's "periodical network maintenance
-  /// messages".
+  /// messages".  (Beacons for this lane only; the batch harness starts the
+  /// coalesced all-lane beacons through `BatchedNetwork` instead.)
   void StartMaintenanceBeacons(SimDuration period, std::size_t payload_bytes);
 
   /// Closes every open accounting span at `Now()` — currently the sleep
@@ -133,72 +149,32 @@ class Network {
   /// The experiment harness calls this before summarizing a run.
   void FinalizeAccounting();
 
-  /// Number of transmissions currently in flight (diagnostics).
-  std::size_t in_flight() const { return total_flights_; }
+  /// Number of transmissions currently in flight (diagnostics, this lane).
+  std::size_t in_flight() const;
 
-  /// The event observer fan-out.  Any number of observers (trace writers,
-  /// metric collectors, samplers) may be attached concurrently via
-  /// `observers().Add(...)`; none is owned.
-  ObserverMux& observers() { return observers_; }
-  const ObserverMux& observers() const { return observers_; }
+  /// The event observer fan-out of this lane.  Any number of observers
+  /// (trace writers, metric collectors, samplers) may be attached
+  /// concurrently via `observers().Add(...)`; none is owned.
+  ObserverMux& observers();
+  const ObserverMux& observers() const;
 
   /// Legacy single-observer slot: replaces the previously set observer
   /// (nullptr to remove) while leaving observers added through
   /// `observers()` untouched.
-  void SetObserver(NetworkObserver* observer) {
-    if (legacy_observer_ != nullptr) observers_.Remove(legacy_observer_);
-    legacy_observer_ = observer;
-    observers_.Add(observer);
-  }
+  void SetObserver(NetworkObserver* observer);
+
+  /// The batch this view belongs to.
+  BatchedNetwork& batch() { return *batch_; }
+
+  /// This view's lane index.
+  std::uint32_t lane() const { return lane_; }
 
  private:
-  /// One `StartMaintenanceBeacons` call; ticks reference it by index.
-  struct BeaconSet {
-    SimDuration period;
-    std::size_t payload_bytes;
-  };
-
-  void BeginAttempt(Message msg, int attempt);
-  void CompleteAttempt(Message msg, int attempt, SimTime started);
-  std::size_t CountInterferers(NodeId sender, SimTime started) const;
-  void Deliver(const Message& msg);
-  void BeaconTick(NodeId node, std::uint32_t set);
-  void AddFlight(NodeId sender, SimTime end);
-  void RemoveFlight(NodeId sender, SimTime end);
-
-  const Topology* topology_;
-  RadioParams radio_;
-  ChannelParams channel_;
+  /// Set only by the serial constructor.
+  std::unique_ptr<BatchedNetwork> owned_;
+  BatchedNetwork* batch_;
+  std::uint32_t lane_;
   Simulator sim_;
-  LinkQualityMap link_quality_;
-  RadioLedger ledger_;
-  Rng rng_;
-  std::vector<Receiver> receivers_;
-  std::vector<bool> asleep_;
-  std::vector<bool> failed_;
-  std::size_t num_failed_ = 0;
-  std::vector<bool> down_;
-  std::vector<SimTime> down_since_;
-  std::size_t num_down_ = 0;
-  double default_link_loss_ = 0.0;
-  /// Per-link loss overrides, keyed by the normalized (low, high) pair.
-  std::map<std::pair<NodeId, NodeId>, double> link_loss_;
-  std::uint64_t link_drops_ = 0;
-  Rng loss_rng_;
-  std::vector<SimTime> sleep_since_;
-  std::vector<SimTime> busy_until_;
-  /// O(1) flight tracking: per-sender end times (appended at begin,
-  /// swap-removed at complete; capacity is retained, so steady state never
-  /// allocates) plus a compact list of senders with at least one active
-  /// flight — `CountInterferers` walks only those.
-  std::vector<std::vector<SimTime>> flight_ends_;
-  std::vector<NodeId> active_senders_;
-  std::vector<std::uint32_t> active_slot_;
-  std::size_t total_flights_ = 0;
-  std::vector<BeaconSet> beacon_sets_;
-  /// Scratch for sorted destination lookups on large multicasts.
-  std::vector<NodeId> dest_scratch_;
-  ObserverMux observers_;
   NetworkObserver* legacy_observer_ = nullptr;
 };
 

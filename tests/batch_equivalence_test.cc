@@ -1,0 +1,117 @@
+// The lockstep batch engine's hard contract (DESIGN.md note 21): every
+// lane of `RunExperimentBatch` is byte-identical to the same config run
+// alone through `RunExperiment` — including when one lane diverges hard
+// (a crash fault) while its siblings stay healthy.  Fingerprints cover
+// answer-row counts, the message-class table, ledger totals, delivery
+// completeness, and the simulator event count, so "byte-identical" here
+// is the same bar the golden regression suite applies.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sweep/fingerprint.h"
+#include "workload/generator.h"
+#include "workload/runner.h"
+
+namespace ttmqo {
+namespace {
+
+RunConfig BaseConfig(std::uint64_t seed) {
+  RunConfig config;
+  config.grid_side = 4;
+  config.mode = OptimizationMode::kTwoTier;
+  config.seed = seed;
+  config.channel.collision_prob = 0.02;
+  config.duration_ms = 24 * 4096;
+  return config;
+}
+
+std::vector<WorkloadEvent> MakeSchedule(std::uint64_t seed) {
+  QueryModelParams params;
+  params.predicate_selectivity = 1.0;
+  params.randomize_selectivity = true;
+  RandomQueryModel model(params, seed);
+  return DynamicSchedule(model, /*count=*/10, /*mean_interarrival_ms=*/3000.0,
+                         /*mean_duration_ms=*/30000.0, seed);
+}
+
+// All lanes of a batch share one duration; stretch every config to cover
+// the longest schedule (plus settle time for the final epochs).
+void FitDuration(std::vector<RunConfig>& configs,
+                 const std::vector<std::vector<WorkloadEvent>>& schedules) {
+  SimTime last = 0;
+  for (const auto& schedule : schedules) {
+    for (const WorkloadEvent& event : schedule) {
+      last = std::max(last, event.time);
+    }
+  }
+  for (RunConfig& config : configs) config.duration_ms = last + 6 * 4096;
+}
+
+// Runs every lane serially, then the whole set as one batch, and demands
+// per-lane fingerprint equality.
+void ExpectBatchMatchesSerial(
+    const std::vector<RunConfig>& configs,
+    const std::vector<std::vector<WorkloadEvent>>& schedules) {
+  std::vector<RunResult> serial;
+  serial.reserve(configs.size());
+  for (std::size_t l = 0; l < configs.size(); ++l) {
+    serial.push_back(RunExperiment(configs[l], schedules[l]));
+  }
+  const std::vector<RunResult> batch = RunExperimentBatch(configs, schedules);
+  ASSERT_EQ(batch.size(), configs.size());
+  for (std::size_t l = 0; l < configs.size(); ++l) {
+    EXPECT_EQ(FingerprintRun(batch[l]), FingerprintRun(serial[l]))
+        << "lane " << l << " of " << configs.size();
+    EXPECT_EQ(batch[l].events_executed, serial[l].events_executed)
+        << "lane " << l << " of " << configs.size();
+  }
+}
+
+// N in {1, 4, 8}: different seeds, different workloads, and alternating
+// optimization modes across the lanes of one batch.
+TEST(BatchEquivalenceTest, LanesMatchSerialAtOneFourAndEightSeeds) {
+  for (const std::size_t lanes : {1u, 4u, 8u}) {
+    std::vector<RunConfig> configs;
+    std::vector<std::vector<WorkloadEvent>> schedules;
+    for (std::size_t l = 0; l < lanes; ++l) {
+      RunConfig config = BaseConfig(/*seed=*/11 + l);
+      config.mode = (l % 2 == 0) ? OptimizationMode::kTwoTier
+                                 : OptimizationMode::kBaseline;
+      configs.push_back(config);
+      schedules.push_back(MakeSchedule(/*seed=*/11 + l));
+    }
+    FitDuration(configs, schedules);
+    ExpectBatchMatchesSerial(configs, schedules);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// Divergence isolation: four lanes with the SAME seed and workload, but
+// lane 2 crashes a relay mid-run.  The healthy lanes must stay
+// byte-identical to each other and to the serial healthy run, while the
+// faulted lane matches the serial faulted run — the crash must not leak
+// into sibling lanes through the shared event loop.
+TEST(BatchEquivalenceTest, CrashedLaneDivergesWithoutCorruptingSiblings) {
+  const std::vector<WorkloadEvent> schedule = MakeSchedule(/*seed=*/7);
+  std::vector<RunConfig> configs(4, BaseConfig(/*seed=*/7));
+  configs[2].faults.AddCrash(/*node=*/5, /*at=*/8 * 4096);
+  const std::vector<std::vector<WorkloadEvent>> schedules(4, schedule);
+  FitDuration(configs, schedules);
+
+  ExpectBatchMatchesSerial(configs, schedules);
+  if (::testing::Test::HasFatalFailure()) return;
+
+  const std::vector<RunResult> batch = RunExperimentBatch(configs, schedules);
+  const std::string healthy = FingerprintRun(batch[0]);
+  EXPECT_EQ(FingerprintRun(batch[1]), healthy);
+  EXPECT_EQ(FingerprintRun(batch[3]), healthy);
+  EXPECT_NE(FingerprintRun(batch[2]), healthy)
+      << "the crash fault did not change the faulted lane at all";
+}
+
+}  // namespace
+}  // namespace ttmqo

@@ -12,7 +12,25 @@ Usage: strip_bench_timings.py FILE  (filtered JSON on stdout)
 import json
 import sys
 
-VOLATILE_KEYS = {"seconds", "inserts_per_sec", "speedup_x", "build"}
+VOLATILE_KEYS = {
+    "seconds",
+    "inserts_per_sec",
+    "speedup_x",
+    "build",
+    # Hotpath/sweep artifacts: wall clock, derived rates, and host shape
+    # vary per machine; event and decision counts must not.
+    "wall_ms",
+    "serial_wall_ms",
+    "per_run_wall_ms",
+    "events_per_sec",
+    "serial_events_per_sec",
+    "runs_per_sec",
+    "speedup",
+    "speedup_vs_baseline",
+    "batch_speedup",
+    "aggregate_speedup",
+    "hardware_concurrency",
+}
 
 
 def strip(node):
